@@ -1,0 +1,201 @@
+// Command trafficwarehouse runs the Traffic Warehouse game: built-in
+// lessons (training, topologies, attack, security-defense-deterrence,
+// ddos, graph-theory), lesson zip files, or directories of module
+// JSON files, played interactively on stdin or scripted for
+// demonstrations.
+//
+// Controls: W/A/S/D move, P place box, X remove box, SPACE 2D/3D,
+// Q/E rotate, C colors, 1-3 answer, N next, F fill, Z quit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/course"
+	"repro/internal/game"
+	"repro/internal/modules"
+	"repro/internal/term"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficwarehouse:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lessonName := flag.String("lesson", "training", "built-in lesson: "+strings.Join(modules.LessonNames, ", ")+", or curriculum")
+	zipPath := flag.String("zip", "", "load a lesson zip file instead of a built-in lesson")
+	dirPath := flag.String("dir", "", "load a directory of module JSON files")
+	coursePath := flag.String("course", "", "play a hierarchical course manifest (JSON)")
+	student := flag.String("student", "student", "student name for the score report")
+	seed := flag.Int64("seed", 1, "random seed for answer shuffling")
+	script := flag.String("script", "", "space-separated action script (runs non-interactively)")
+	plain := flag.Bool("plain", false, "disable ANSI colors")
+	savePath := flag.String("save", "", "write the session score record (JSON) to this file")
+	flag.Parse()
+
+	if *plain {
+		term.SetEnabled(false)
+	}
+
+	if *coursePath != "" {
+		return runCourse(*coursePath, *student, *seed, *script, *plain)
+	}
+
+	lesson, err := loadLesson(*lessonName, *zipPath, *dirPath)
+	if err != nil {
+		return err
+	}
+	if issues := lesson.Validate(); len(issues) > 0 {
+		fmt.Fprintln(os.Stderr, issues.String())
+		if !issues.OK() {
+			return fmt.Errorf("lesson %q has validation errors", lesson.Name)
+		}
+	}
+
+	g, err := game.New(lesson, *student, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+
+	var src game.Source
+	if *script != "" {
+		src, err = game.NewScriptSource(*script)
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(game.Banner())
+		fmt.Println("type actions then Enter (w/a/s/d move, p place, space 3D, q/e rotate, c colors, 1-3 answer, n next, f fill, z quit)")
+		src = game.NewReaderSource(os.Stdin)
+	}
+
+	g.Play(src, func(frame string) {
+		if *plain {
+			fmt.Println(g.View())
+		} else {
+			fmt.Println(g.Screen())
+		}
+	})
+	if !g.Done() {
+		fmt.Println("\n(input ended before the lesson finished)")
+	}
+	fmt.Println(g.Session().Report())
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.Session().Save(f, time.Now()); err != nil {
+			return err
+		}
+		fmt.Printf("session saved to %s\n", *savePath)
+	}
+	return nil
+}
+
+// runCourse plays a hierarchical course manifest: units in
+// prerequisite order, each unit's lessons in sequence, one score
+// report per unit.
+func runCourse(path, student string, seed int64, script string, plain bool) error {
+	c, err := course.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Print(c.Outline())
+	loader := course.FileAwareLoader(func(ref string) (*core.Lesson, error) {
+		if ref == "curriculum" {
+			return modules.Curriculum()
+		}
+		return modules.Lesson(ref)
+	})
+	lessonsByUnit, err := c.ResolveAll(loader)
+	if err != nil {
+		return err
+	}
+	order, err := c.Order()
+	if err != nil {
+		return err
+	}
+	progress := course.NewProgress(c)
+	var src game.Source
+	if script != "" {
+		src, err = game.NewScriptSource(script)
+		if err != nil {
+			return err
+		}
+	} else {
+		src = game.NewReaderSource(os.Stdin)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, unit := range order {
+		fmt.Printf("\n═══ unit: %s ═══\n", unit.Name)
+		if unit.Description != "" {
+			fmt.Println(unit.Description)
+		}
+		for _, lesson := range lessonsByUnit[unit.Name] {
+			g, err := game.New(lesson, student, rng)
+			if err != nil {
+				return err
+			}
+			g.Play(src, func(string) {
+				if plain {
+					fmt.Println(g.View())
+				} else {
+					fmt.Println(g.Screen())
+				}
+			})
+			fmt.Println(g.Session().Report())
+			if g.Quit() {
+				fmt.Println("course interrupted")
+				fmt.Print(progress.Summary())
+				return nil
+			}
+			if !g.Done() {
+				fmt.Println("(input ended before the course finished)")
+				fmt.Print(progress.Summary())
+				return nil
+			}
+		}
+		if err := progress.Complete(unit.Name); err != nil {
+			return err
+		}
+		fmt.Printf("unit %s complete\n", unit.Name)
+	}
+	fmt.Println("\ncourse complete!")
+	fmt.Print(progress.Summary())
+	return nil
+}
+
+// loadLesson resolves the lesson from the mutually exclusive source
+// flags.
+func loadLesson(name, zipPath, dirPath string) (*core.Lesson, error) {
+	set := 0
+	for _, s := range []string{zipPath, dirPath} {
+		if s != "" {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("use only one of -zip and -dir")
+	}
+	switch {
+	case zipPath != "":
+		return core.LoadZipFile(zipPath)
+	case dirPath != "":
+		return core.LoadDir(dirPath)
+	case name == "curriculum":
+		return modules.Curriculum()
+	default:
+		return modules.Lesson(name)
+	}
+}

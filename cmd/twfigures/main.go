@@ -1,0 +1,79 @@
+// Command twfigures regenerates every table and figure from the
+// paper into an output directory (text renders plus voxel-exact PPM
+// screenshots) and prints the reproduction summary: the same rows
+// the paper reports, produced by this repository's code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/figures"
+	"repro/internal/term"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "twfigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "out", "output directory for regenerated artifacts")
+	only := flag.String("only", "", "regenerate a single artifact by ID (T1,T2,F1..F10)")
+	flag.Parse()
+
+	// Artifacts are files; keep them free of escape codes.
+	term.SetEnabled(false)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	figs := figures.All()
+	if *only != "" {
+		f, ok := figures.Lookup(*only)
+		if !ok {
+			return fmt.Errorf("unknown artifact %q", *only)
+		}
+		figs = []figures.Figure{f}
+	}
+
+	total := 0
+	for _, f := range figs {
+		arts, summary, err := f.Generate()
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", f.ID, f.Paper, err)
+		}
+		for _, a := range arts {
+			path := filepath.Join(*out, a.Name)
+			var data []byte
+			if a.PPM != nil {
+				data = a.PPM
+			} else {
+				data = []byte(a.Text)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			total++
+		}
+		fmt.Printf("%-3s %-9s %d file(s) — %s\n", f.ID, f.Paper, len(arts), summary)
+	}
+	if *only == "" {
+		summary, err := figures.Summary()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, "summary.txt")
+		if err := os.WriteFile(path, []byte(summary), 0o644); err != nil {
+			return err
+		}
+		total++
+	}
+	fmt.Printf("wrote %d files to %s\n", total, *out)
+	return nil
+}

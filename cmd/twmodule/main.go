@@ -1,0 +1,335 @@
+// Command twmodule is the educator tool for Traffic Warehouse
+// learning modules:
+//
+//	twmodule new -size 10 -o lesson.json     write a template to edit
+//	twmodule validate file.json...           check modules, show findings
+//	twmodule info file.json                  summarize a module
+//	twmodule render file.json [-3d] [-rot N] [-colors] [-ppm out.ppm]
+//	twmodule gen -id fig9c-ddos-attack -o m.json   generate from the catalog
+//	twmodule list                            list catalog pattern IDs
+//	twmodule pack -o lesson.zip file.json... zip modules into a lesson
+//	twmodule unpack -d dir lesson.zip        extract a lesson zip
+//	twmodule obfuscate file.json...          hide correct answers behind digests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/modules"
+	"repro/internal/patterns"
+	"repro/internal/render"
+	"repro/internal/term"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "twmodule:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: twmodule <new|validate|info|render|gen|list|pack|unpack> ...")
+	}
+	switch args[0] {
+	case "new":
+		return cmdNew(args[1:])
+	case "validate":
+		return cmdValidate(args[1:])
+	case "info":
+		return cmdInfo(args[1:])
+	case "render":
+		return cmdRender(args[1:])
+	case "gen":
+		return cmdGen(args[1:])
+	case "list":
+		return cmdList()
+	case "pack":
+		return cmdPack(args[1:])
+	case "unpack":
+		return cmdUnpack(args[1:])
+	case "obfuscate":
+		return cmdObfuscate(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// cmdObfuscate rewrites modules so the correct answer is stored as a
+// salted digest instead of a plain index (the paper's future-work
+// item: students reading the JSON no longer see the answer).
+func cmdObfuscate(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("obfuscate: no files given")
+	}
+	for _, p := range paths {
+		m, err := core.LoadModuleFile(p)
+		if err != nil {
+			return err
+		}
+		if m.Obfuscated() {
+			fmt.Printf("%s: already obfuscated\n", p)
+			continue
+		}
+		if err := m.ObfuscateAnswer(); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		data, err := core.EncodeModule(m)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: answer obfuscated (digest %s)\n", p, m.CorrectAnswerDigest)
+	}
+	return nil
+}
+
+func cmdNew(args []string) error {
+	fs := flag.NewFlagSet("new", flag.ContinueOnError)
+	size := fs.Int("size", 10, "matrix size (paper templates: 6 or 10)")
+	out := fs.String("o", "", "output file (stdout when empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := core.Template(*size)
+	if err != nil {
+		return err
+	}
+	return writeModule(m, *out)
+}
+
+func writeModule(m *core.Module, out string) error {
+	data, err := core.EncodeModule(m)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, len(data))
+	return nil
+}
+
+func cmdValidate(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("validate: no files given")
+	}
+	bad := 0
+	for _, p := range paths {
+		m, err := core.LoadModuleFile(p)
+		if err != nil {
+			fmt.Printf("%s: %v\n", p, err)
+			bad++
+			continue
+		}
+		issues := m.Validate()
+		if len(issues) == 0 {
+			fmt.Printf("%s: ok\n", p)
+			continue
+		}
+		fmt.Printf("%s:\n", p)
+		for _, issue := range issues {
+			fmt.Printf("  %s\n", issue)
+		}
+		if !issues.OK() {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d file(s) failed validation", bad)
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info: exactly one file")
+	}
+	m, err := core.LoadModuleFile(args[0])
+	if err != nil {
+		return err
+	}
+	mat, err := m.Matrix()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("name:    %s\n", m.Name)
+	fmt.Printf("author:  %s\n", m.Author)
+	fmt.Printf("size:    %s\n", m.Size)
+	fmt.Printf("labels:  %s\n", strings.Join(m.AxisLabels, " "))
+	fmt.Printf("packets: %d across %d active links (max cell %d)\n", mat.Sum(), mat.NNZ(), mat.Max())
+	if m.HasQuestion {
+		fmt.Printf("question: %s\n", m.Question)
+		for i, a := range m.Answers {
+			mark := " "
+			if i == m.CorrectAnswerElement {
+				mark = "*"
+			}
+			fmt.Printf("  %s %s\n", mark, a)
+		}
+	} else {
+		fmt.Println("question: (disabled)")
+	}
+	if issues := m.Validate(); len(issues) > 0 {
+		fmt.Printf("findings:\n%s\n", issues)
+	}
+	return nil
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ContinueOnError)
+	mode3D := fs.Bool("3d", false, "render the 3D view")
+	rot := fs.Int("rot", 0, "3D rotation in quarter turns (0-3)")
+	colors := fs.Bool("colors", false, "apply the color matrix")
+	ppm := fs.String("ppm", "", "also write a voxel-exact PPM screenshot")
+	plain := fs.Bool("plain", false, "disable ANSI colors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("render: exactly one file")
+	}
+	if *plain {
+		term.SetEnabled(false)
+	}
+	m, err := core.LoadModuleFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fb, err := game.RenderStatic(m, *mode3D, render.Rotation(*rot), *colors)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fb.ANSI())
+	if *ppm != "" {
+		mat, err := m.Matrix()
+		if err != nil {
+			return err
+		}
+		colorMat, err := m.Colors()
+		if err != nil {
+			return err
+		}
+		scene, err := render.ComposeWarehouse(mat, colorMat, nil, *colors)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*ppm)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := render.VoxelIso(scene, render.Rotation(*rot)).WritePPM(f, 2, 4); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *ppm)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	id := fs.String("id", "", "catalog pattern ID (see twmodule list)")
+	out := fs.String("o", "", "output file (stdout when empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entry, ok := patterns.Lookup(*id)
+	if !ok {
+		return fmt.Errorf("gen: unknown pattern %q", *id)
+	}
+	m, err := modules.FromEntry(entry)
+	if err != nil {
+		return err
+	}
+	return writeModule(m, *out)
+}
+
+func cmdList() error {
+	for _, f := range patterns.Families() {
+		fmt.Printf("%s:\n", f)
+		for _, e := range patterns.ByFamily(f) {
+			fmt.Printf("  %-28s Fig %-4s %s\n", e.ID, e.Figure, e.Title)
+		}
+	}
+	return nil
+}
+
+func cmdPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ContinueOnError)
+	out := fs.String("o", "lesson.zip", "output zip path")
+	name := fs.String("name", "", "lesson name (defaults to the zip base name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("pack: no module files given")
+	}
+	lesson := &core.Lesson{Name: *name}
+	if lesson.Name == "" {
+		lesson.Name = strings.TrimSuffix(filepath.Base(*out), filepath.Ext(*out))
+	}
+	for _, p := range fs.Args() {
+		m, err := core.LoadModuleFile(p)
+		if err != nil {
+			return err
+		}
+		lesson.Modules = append(lesson.Modules, m)
+	}
+	if issues := lesson.Validate(); !issues.OK() {
+		return fmt.Errorf("pack: lesson has errors:\n%s", issues.Errs())
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := lesson.WriteZip(f); err != nil {
+		return err
+	}
+	fmt.Printf("packed %d modules into %s\n", lesson.Len(), *out)
+	return nil
+}
+
+func cmdUnpack(args []string) error {
+	fs := flag.NewFlagSet("unpack", flag.ContinueOnError)
+	dir := fs.String("d", ".", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("unpack: exactly one zip file")
+	}
+	lesson, err := core.LoadZipFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for i, m := range lesson.Modules {
+		data, err := core.EncodeModule(m)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, fmt.Sprintf("%02d_module.json", i+1))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n", path, m.Name)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Command twsim runs network scenario simulations and shows the
+// traffic matrices they produce, window by window, with the pattern
+// classifier's reading of each window — the analyst's workflow the
+// game trains students for. It can also export any window as a
+// learning module, turning live traffic into lesson content.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/netsim"
+	"repro/internal/patterns"
+	"repro/internal/render"
+	"repro/internal/term"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "twsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scenario := flag.String("scenario", "ddos", "scenario: background, scan, attack, ddos")
+	seed := flag.Int64("seed", 42, "random seed")
+	duration := flag.Float64("duration", 40, "scenario length in seconds")
+	window := flag.Float64("window", 10, "aggregation window in seconds")
+	exportPath := flag.String("export", "", "export the busiest window as a module JSON file")
+	plain := flag.Bool("plain", false, "disable ANSI colors")
+	flag.Parse()
+	if *plain {
+		term.SetEnabled(false)
+	}
+
+	net := netsim.StandardNetwork()
+	rng := rand.New(rand.NewSource(*seed))
+	zones, err := net.Zones()
+	if err != nil {
+		return err
+	}
+
+	var trace netsim.Trace
+	var truth []string
+	switch *scenario {
+	case "background":
+		trace, err = netsim.Background(net, rng, *duration, 4)
+	case "scan":
+		trace, err = netsim.Scan(net, rng, *duration)
+	case "attack":
+		var phases []netsim.AttackPhase
+		trace, phases, err = netsim.AttackScenario(net, rng, *duration)
+		for _, p := range phases {
+			truth = append(truth, fmt.Sprintf("[%5.1fs,%5.1fs) %s", p.Start, p.End, p.Stage))
+		}
+	case "ddos":
+		var phases []netsim.DDoSPhase
+		trace, phases, err = netsim.DDoSScenario(net, rng, *duration)
+		for _, p := range phases {
+			truth = append(truth, fmt.Sprintf("[%5.1fs,%5.1fs) %s", p.Start, p.End, p.Component))
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario %s: %d events, %d packets over %.1fs\n",
+		*scenario, len(trace), trace.TotalPackets(), *duration)
+	if len(truth) > 0 {
+		fmt.Println("ground truth schedule:")
+		for _, line := range truth {
+			fmt.Println("  " + line)
+		}
+	}
+
+	windows, err := trace.Windows(net, *window, *duration)
+	if err != nil {
+		return err
+	}
+	roles, rolesErr := patterns.AssignDDoSRoles(zones)
+
+	var busiest *matrix.Dense
+	busiestSum := -1
+	for _, w := range windows {
+		fmt.Printf("\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Matrix.Sum())
+		fb, err := render.Matrix2D(w.Matrix, render.Matrix2DOptions{
+			Labels: net.Labels(),
+			Colors: zones.ColorMatrix(),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(fb.ANSI())
+		if w.Matrix.NNZ() == 0 {
+			continue
+		}
+		stage, conf := patterns.ClassifyAttackStage(w.Matrix, zones)
+		fmt.Printf("   attack-stage reading: %s (%.2f)\n", stage, conf)
+		if rolesErr == nil {
+			component, dconf := patterns.ClassifyDDoS(w.Matrix, roles)
+			fmt.Printf("   ddos reading:         %s (%.2f)\n", component, dconf)
+		}
+		if hubs := matrix.Supernodes(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
+			h := hubs[0]
+			fmt.Printf("   busiest hub:          %s (%s fan %d, %d packets)\n",
+				net.Labels()[h.Index], h.Direction, h.Fan, h.Packets)
+		}
+		if w.Matrix.Sum() > busiestSum {
+			busiestSum = w.Matrix.Sum()
+			busiest = w.Matrix
+		}
+	}
+
+	if *exportPath != "" && busiest != nil {
+		m := moduleFromMatrix(busiest, net, zones, *scenario)
+		data, err := core.EncodeModule(m)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*exportPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nexported busiest window as %s\n", *exportPath)
+	}
+	return nil
+}
+
+// moduleFromMatrix wraps a captured traffic matrix as a learning
+// module (no question; an educator adds one in a text editor).
+func moduleFromMatrix(m *matrix.Dense, net *netsim.Network, zones patterns.Zones, scenario string) *core.Module {
+	clamped := m.Clone()
+	clamped.Apply(func(v int) int {
+		if v > core.MaxDisplayPackets {
+			return core.MaxDisplayPackets
+		}
+		return v
+	})
+	name := scenario
+	if name != "" {
+		name = strings.ToUpper(name[:1]) + name[1:]
+	}
+	return &core.Module{
+		Name:                "Captured " + name + " Traffic",
+		Size:                core.FormatSize(m.Rows()),
+		Author:              "twsim",
+		AxisLabels:          net.Labels(),
+		TrafficMatrix:       clamped.ToRows(),
+		TrafficMatrixColors: zones.ColorMatrix().ToRows(),
+		HasQuestion:         false,
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Teaching
+// Network Traffic Matrices in an Interactive Game Environment"
+// (IPPS/IPDPSW 2024, arXiv:2404.14643): the Traffic Warehouse
+// educational game, its extensible JSON learning-module format, and
+// every substrate the paper's artifact depends on — a scene-tree
+// engine, a GDScript interpreter, voxel assets with OBJ export, a
+// terminal/PPM renderer, the module pattern library with
+// classifiers, and a network scenario simulator.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The root
+// package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure.
+package repro

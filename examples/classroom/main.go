@@ -1,0 +1,81 @@
+// Classroom: run the full built-in curriculum for a cohort of
+// simulated students, then print the per-student score reports and
+// the educator's item analysis — the "core unit as part of a formal
+// course" configuration the paper describes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/game"
+	"repro/internal/modules"
+	"repro/internal/quiz"
+)
+
+// student models one simulated learner: their name and the
+// probability they answer a question correctly (when they miss,
+// they pick a random wrong option).
+type student struct {
+	name  string
+	skill float64
+}
+
+func main() {
+	cohortStudents := []student{
+		{name: "alice", skill: 0.95},
+		{name: "bob", skill: 0.75},
+		{name: "carol", skill: 0.55},
+		{name: "dave", skill: 0.35},
+	}
+
+	lesson, err := modules.Curriculum()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("curriculum: %d modules across %d lessons\n\n", lesson.Len(), len(modules.LessonNames))
+
+	cohort := quiz.NewCohort()
+	for i, s := range cohortStudents {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		g, err := game.New(lesson, s.name, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		playStudent(g, rng, s.skill)
+		fmt.Println(g.Session().Report())
+		cohort.AddSession(g.Session())
+	}
+
+	fmt.Println(cohort.Report())
+}
+
+// playStudent drives the game for one student: fill every level
+// (students always finish placement; skill applies to questions),
+// then answer with the student's accuracy.
+func playStudent(g *game.Game, rng *rand.Rand, skill float64) {
+	for !g.Done() {
+		switch g.Phase() {
+		case game.PhasePlaying:
+			// Skip any training steps, then fill and submit.
+			g.Update(game.ActionFillAll)
+			for g.Phase() == game.PhasePlaying {
+				g.Update(game.ActionNext)
+			}
+		case game.PhaseQuestion:
+			q, _ := g.Question()
+			choice := q.CorrectOption
+			if rng.Float64() > skill {
+				// Pick a wrong option uniformly.
+				choice = rng.Intn(len(q.Options))
+				for choice == q.CorrectOption {
+					choice = rng.Intn(len(q.Options))
+				}
+			}
+			g.Update([]game.Action{game.ActionAnswer1, game.ActionAnswer2, game.ActionAnswer3}[choice])
+		case game.PhaseModuleDone:
+			g.Update(game.ActionNext)
+		}
+	}
+}

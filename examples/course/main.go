@@ -1,0 +1,130 @@
+// Course: the paper's future-work items working together. An
+// educator builds a hierarchical course (units gated by
+// prerequisites), obfuscates the quiz answers so students reading
+// the JSON can't cheat, and a student progresses through the units
+// with per-session records saved for later cohort analysis.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/course"
+	"repro/internal/game"
+	"repro/internal/modules"
+	"repro/internal/quiz"
+)
+
+// manifest is what the educator writes (trailing commas and
+// comments, as usual).
+const manifest = `{
+	// basics first, threats gated behind them
+	"name": "Network Defense Bootcamp",
+	"author": "An Educator",
+	"units": [
+		{"name": "Basics", "description": "What a traffic matrix is",
+		 "lessons": ["training", "topologies",],},
+		{"name": "Threats", "description": "Attack lifecycles on the matrix",
+		 "lessons": ["attack", "ddos",], "requires": ["Basics",],},
+	],
+}`
+
+func main() {
+	c, err := course.Parse([]byte(manifest))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(c.Outline())
+
+	// Resolve lessons from the built-in library and obfuscate every
+	// answer before "distribution".
+	loader := func(ref string) (*core.Lesson, error) { return modules.Lesson(ref) }
+	lessons, err := c.ResolveAll(loader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obfuscated := 0
+	for _, unit := range lessons {
+		for _, lesson := range unit {
+			for _, m := range lesson.Modules {
+				if m.HasQuestion {
+					if err := m.ObfuscateAnswer(); err != nil {
+						log.Fatal(err)
+					}
+					obfuscated++
+				}
+			}
+		}
+	}
+	fmt.Printf("\nobfuscated %d module answers (files no longer reveal the correct option)\n\n", obfuscated)
+
+	// A student works through the course in prerequisite order.
+	progress := course.NewProgress(c)
+	rng := rand.New(rand.NewSource(99))
+	cohort := quiz.NewCohort()
+	order, err := c.Order()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, unit := range order {
+		if !progress.Unlocked(unit.Name) {
+			log.Fatalf("unit %s should be unlocked by now", unit.Name)
+		}
+		fmt.Printf("── unit %s\n", unit.Name)
+		for _, lesson := range lessons[unit.Name] {
+			g, err := game.New(lesson, "student", rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			playPerfectly(g)
+			fmt.Printf("   %-28s %d/%d correct\n", lesson.Name,
+				g.Session().CorrectCount(), g.Session().Answered())
+
+			// Persist the session the way a classroom deployment
+			// would, then fold the reloaded record into the cohort.
+			var buf bytes.Buffer
+			if err := g.Session().Save(&buf, time.Date(2026, 6, 10, 9, 0, 0, 0, time.UTC)); err != nil {
+				log.Fatal(err)
+			}
+			reloaded, err := quiz.LoadSession(&buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cohort.AddSession(reloaded)
+		}
+		if err := progress.Complete(unit.Name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	fmt.Print(progress.Summary())
+	if !progress.Done() {
+		log.Fatal("course should be complete")
+	}
+	fmt.Println("\neducator view (from saved session records):")
+	fmt.Print(cohort.Report())
+}
+
+// playPerfectly fills each level and answers every question
+// correctly — obfuscation must not impede a legitimate player.
+func playPerfectly(g *game.Game) {
+	answers := []game.Action{game.ActionAnswer1, game.ActionAnswer2, game.ActionAnswer3}
+	for !g.Done() {
+		switch g.Phase() {
+		case game.PhasePlaying:
+			g.Update(game.ActionFillAll)
+			for g.Phase() == game.PhasePlaying {
+				g.Update(game.ActionNext)
+			}
+		case game.PhaseQuestion:
+			q, _ := g.Question()
+			g.Update(answers[q.CorrectOption])
+		case game.PhaseModuleDone:
+			g.Update(game.ActionNext)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: load a learning module, look at it in 2D and 3D, and
+// answer its question — the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/quiz"
+	"repro/internal/render"
+	"repro/internal/term"
+)
+
+// moduleJSON is a hand-written lesson file, exactly as an educator
+// would type it (note the trailing commas — the paper's own listings
+// have them, and the decoder accepts them).
+const moduleJSON = `{
+	"name": "Quickstart Lesson",
+	"size": "6x6",
+	"author": "Quickstart",
+	"axis_labels": ["WS1", "WS2", "SRV1", "EXT1", "ADV1", "ADV2",],
+	"traffic_matrix": [
+		[0, 0, 2, 1, 0, 0],
+		[0, 0, 2, 0, 0, 0],
+		[1, 1, 0, 0, 0, 0],
+		[0, 0, 0, 0, 0, 0],
+		[0, 0, 3, 0, 0, 1],
+		[0, 0, 0, 0, 1, 0],
+	],
+	"traffic_matrix_colors": [
+		[1, 1, 1, 0, 2, 2],
+		[1, 1, 1, 0, 2, 2],
+		[1, 1, 1, 0, 2, 2],
+		[0, 0, 0, 0, 0, 0],
+		[2, 2, 2, 0, 0, 0],
+		[2, 2, 2, 0, 0, 0],
+	],
+	"has_question": true,
+	"question": "How many packets did ADV1 send to SRV1?",
+	"answers": ["1", "2", "3",],
+	"correct_answer_element": 2,
+}`
+
+func main() {
+	term.SetEnabled(false) // plain text for piping; drop for colors
+
+	// 1. Parse and validate the module.
+	module, err := core.ParseModule([]byte(moduleJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if issues := module.Validate(); !issues.OK() {
+		log.Fatalf("module invalid:\n%s", issues.Errs())
+	}
+	fmt.Printf("loaded %q by %s (%s, %d packets)\n\n",
+		module.Name, module.Author, module.Size, module.TotalPackets())
+
+	// 2. The 2D spreadsheet view with the color overlay.
+	fb, err := game.RenderStatic(module, false, 0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fb.Text())
+
+	// 3. The 3D warehouse view, rotated one quarter turn (the E
+	// key).
+	fb3, err := game.RenderStatic(module, true, render.Rotation(1), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fb3.Text())
+
+	// 4. Ask the question with shuffled answers and grade a reply.
+	q, _ := module.Quiz()
+	presented := quiz.Shuffle(q, rand.New(rand.NewSource(3)))
+	fmt.Println(presented.Prompt)
+	for i, opt := range presented.Options {
+		fmt.Printf("  %d) %s\n", i+1, opt)
+	}
+	// Pretend the student picks the correct display position.
+	correct, err := presented.Grade(presented.CorrectOption)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("student picks option %d → correct=%v\n", presented.CorrectOption+1, correct)
+}

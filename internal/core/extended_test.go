@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtendedColorNames(t *testing.T) {
+	names := map[int]string{3: "green", 4: "yellow", 5: "purple", 6: "black"}
+	for code, want := range names {
+		if got := ColorName(code); got != want {
+			t.Errorf("ColorName(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// TestExtendedColorsValidation: codes 3–5 warn on a classic module
+// but are clean when the module opts into extended colors; codes
+// beyond 5 warn in both modes.
+func TestExtendedColorsValidation(t *testing.T) {
+	m := validModule()
+	m.TrafficMatrixColors[0][0] = ColorGreen
+	if len(m.Validate().Warnings()) == 0 {
+		t.Error("extended code on classic module did not warn")
+	}
+	m.ExtendedColors = true
+	if issues := m.Validate(); len(issues) != 0 {
+		t.Errorf("extended module with green warned:\n%s", issues)
+	}
+	m.TrafficMatrixColors[0][0] = MaxExtendedColor + 1
+	if len(m.Validate().Warnings()) == 0 {
+		t.Error("out-of-range code on extended module did not warn")
+	}
+}
+
+func TestExtendedColorsSurviveRoundTrip(t *testing.T) {
+	m := validModule()
+	m.ExtendedColors = true
+	m.TrafficMatrixColors[1][1] = ColorPurple
+	data, err := EncodeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseModule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ExtendedColors || back.TrafficMatrixColors[1][1] != ColorPurple {
+		t.Error("extended colors lost in round trip")
+	}
+	if !m.Equal(back) {
+		t.Error("Equal ignores extended colors")
+	}
+}
+
+// TestExtendedColorsOmittedWhenOff: classic modules encode without
+// the extended_colors key, keeping paper-era files byte-compatible.
+func TestExtendedColorsOmittedWhenOff(t *testing.T) {
+	data, err := EncodeModule(validModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "extended_colors") {
+		t.Error("extended_colors emitted for a classic module")
+	}
+}

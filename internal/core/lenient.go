@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The paper's JSON listings are written the way humans write config
+// files: every list and object ends with a trailing comma, e.g.
+//
+//	"answers":["0", "1", "2",],
+//
+// which strict JSON rejects. Because the whole point of the format is
+// that "the template can be edited with a simple text editor" by
+// non-developers, the decoder accepts trailing commas (and // line
+// comments, another common hand-editing habit) by normalizing the
+// input before handing it to encoding/json. Everything else remains
+// strict JSON.
+
+// normalizeJSON removes trailing commas before ] or } and // line
+// comments, preserving string contents (including escaped quotes)
+// byte for byte. It works on raw bytes; JSON strings cannot contain
+// raw newlines so line-comment scanning is safe outside strings.
+func normalizeJSON(src []byte) []byte {
+	var out bytes.Buffer
+	out.Grow(len(src))
+	inString := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inString {
+			out.WriteByte(c)
+			switch c {
+			case '\\':
+				// Copy the escaped byte verbatim so an escaped
+				// quote does not terminate the string.
+				if i+1 < len(src) {
+					i++
+					out.WriteByte(src[i])
+				}
+			case '"':
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inString = true
+			out.WriteByte(c)
+		case '/':
+			if i+1 < len(src) && src[i+1] == '/' {
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+				if i < len(src) {
+					out.WriteByte('\n')
+				}
+				continue
+			}
+			out.WriteByte(c)
+		case ',':
+			// Look ahead past whitespace; drop the comma when the
+			// next significant byte closes a container.
+			j := i + 1
+			for j < len(src) && isJSONSpace(src[j]) {
+				j++
+			}
+			if j < len(src) && (src[j] == ']' || src[j] == '}') {
+				continue
+			}
+			out.WriteByte(c)
+		default:
+			out.WriteByte(c)
+		}
+	}
+	return out.Bytes()
+}
+
+func isJSONSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// DecodeLenient decodes any JSON document with the same leniency as
+// ParseModule (trailing commas, // comments) into v, rejecting
+// unknown fields. Course manifests and other educator-authored files
+// share the module format's editing ergonomics through this helper.
+func DecodeLenient(src []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(normalizeJSON(src)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		return fmt.Errorf("core: more than one JSON document in file")
+	}
+	return nil
+}
+
+// ParseModule decodes one learning module from its JSON document,
+// tolerating trailing commas and // comments. Unknown fields are
+// rejected so typos in field names surface immediately instead of
+// silently producing an empty matrix.
+func ParseModule(src []byte) (*Module, error) {
+	dec := json.NewDecoder(bytes.NewReader(normalizeJSON(src)))
+	dec.DisallowUnknownFields()
+	var m Module
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: parse module: %w", err)
+	}
+	// A second value in the stream means the file held more than one
+	// JSON document, which the format does not allow (lessons are
+	// zip files of single-module documents).
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		return nil, fmt.Errorf("core: parse module: more than one JSON document in file")
+	}
+	return &m, nil
+}
+
+// EncodeModule renders a module as indented JSON in the field order
+// of the paper's listings. Output is strict JSON (no trailing
+// commas), so encoded modules are consumable by any JSON tool.
+func EncodeModule(m *Module) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(m); err != nil {
+		return nil, fmt.Errorf("core: encode module: %w", err)
+	}
+	return buf.Bytes(), nil
+}

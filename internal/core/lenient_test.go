@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeTrailingCommas(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`[1,2,3,]`, `[1,2,3]`},
+		{`{"a":1,}`, `{"a":1}`},
+		{`[1, 2, ]`, `[1, 2 ]`},
+		{"[1,\n]", "[1\n]"},
+		{`[[1,],[2,],]`, `[[1],[2]]`},
+		{`[1,2]`, `[1,2]`},
+	}
+	for _, c := range cases {
+		if got := string(normalizeJSON([]byte(c.in))); got != c.want {
+			t.Errorf("normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizePreservesStrings(t *testing.T) {
+	cases := []string{
+		`{"q":"a, ]b"}`,
+		`{"q":"trailing ,"}`,
+		`{"q":"esc \" quote, ]"}`,
+		`{"q":"back\\slash"}`,
+		`{"q":"// not a comment"}`,
+	}
+	for _, c := range cases {
+		if got := string(normalizeJSON([]byte(c))); got != c {
+			t.Errorf("normalize altered string content: %q → %q", c, got)
+		}
+	}
+}
+
+func TestNormalizeStripsComments(t *testing.T) {
+	in := "{\n\"name\": \"x\", // the lesson title\n\"size\": \"2x2\"\n}"
+	got := string(normalizeJSON([]byte(in)))
+	if strings.Contains(got, "lesson title") {
+		t.Errorf("comment kept: %q", got)
+	}
+	if !strings.Contains(got, `"name": "x"`) {
+		t.Errorf("content lost: %q", got)
+	}
+}
+
+func TestParseModuleUnknownFieldRejected(t *testing.T) {
+	src := `{"name":"x","size":"2x2","axis_labels":["A","B"],
+		"trafic_matrix":[[1,0],[0,1]]}` // typo field
+	if _, err := ParseModule([]byte(src)); err == nil {
+		t.Error("typo field accepted silently")
+	}
+}
+
+func TestParseModuleMultipleDocumentsRejected(t *testing.T) {
+	src := `{"name":"a","size":"1x1"} {"name":"b","size":"1x1"}`
+	if _, err := ParseModule([]byte(src)); err == nil {
+		t.Error("two JSON documents in one file accepted")
+	}
+}
+
+func TestParseModuleGarbage(t *testing.T) {
+	for _, src := range []string{"", "not json", "[1,2,3]", `"just a string"`} {
+		if _, err := ParseModule([]byte(src)); err == nil {
+			t.Errorf("garbage %q accepted", src)
+		}
+	}
+}
+
+func TestParseModuleWithCommentsAndCommas(t *testing.T) {
+	src := `{
+		// educator note: two hosts only
+		"name": "Mini",
+		"size": "2x2",
+		"author": "T",
+		"axis_labels": ["A", "B",],
+		"traffic_matrix": [[0, 1,], [1, 0,],],
+		"traffic_matrix_colors": [[0, 0,], [0, 0,],],
+		"has_question": false,
+	}`
+	m, err := ParseModule([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "Mini" || len(m.TrafficMatrix) != 2 {
+		t.Errorf("parsed wrong: %+v", m)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lesson is an ordered sequence of learning modules: "Learning
+// modules consist of a zip file containing multiple JSON files that
+// the user can select and load into the game. Traffic Warehouse will
+// take the zip file and load each of the JSON files contained in it
+// and present them sequentially one at a time."
+type Lesson struct {
+	// Name identifies the lesson (typically the zip file's base
+	// name).
+	Name string
+	// Modules are presented in order.
+	Modules []*Module
+}
+
+// Len returns the number of modules.
+func (l *Lesson) Len() int { return len(l.Modules) }
+
+// Validate validates every module, prefixing each finding's field
+// with the module's position and name.
+func (l *Lesson) Validate() Issues {
+	var all Issues
+	for idx, m := range l.Modules {
+		for _, issue := range m.Validate() {
+			issue.Field = fmt.Sprintf("module[%d] %q %s", idx, m.Name, issue.Field)
+			all = append(all, issue)
+		}
+	}
+	return all
+}
+
+// moduleFileName builds the archive entry name for module i.
+func moduleFileName(i int, m *Module) string {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		case r == ' ', r == '-', r == '_':
+			return '_'
+		default:
+			return -1
+		}
+	}, m.Name)
+	if slug == "" {
+		slug = "module"
+	}
+	return fmt.Sprintf("%02d_%s.json", i+1, slug)
+}
+
+// WriteZip packs the lesson into zip format on w. Entry names are
+// numbered so the sequential presentation order survives the
+// round-trip.
+func (l *Lesson) WriteZip(w io.Writer) error {
+	zw := zip.NewWriter(w)
+	for i, m := range l.Modules {
+		f, err := zw.Create(moduleFileName(i, m))
+		if err != nil {
+			return fmt.Errorf("core: write zip: %w", err)
+		}
+		data, err := EncodeModule(m)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("core: write zip: %w", err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("core: write zip: %w", err)
+	}
+	return nil
+}
+
+// ReadZip loads a lesson from zip data. JSON entries are loaded in
+// lexical name order (the order the numbered entry names encode);
+// non-JSON entries and directories are ignored, and macOS resource
+// fork noise ("__MACOSX", dotfiles) is skipped so classroom zips
+// built by hand still load.
+func ReadZip(name string, data []byte) (*Lesson, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("core: read zip: %w", err)
+	}
+	var entries []*zip.File
+	for _, f := range zr.File {
+		base := filepath.Base(f.Name)
+		if f.FileInfo().IsDir() ||
+			!strings.HasSuffix(strings.ToLower(base), ".json") ||
+			strings.HasPrefix(base, ".") ||
+			strings.HasPrefix(f.Name, "__MACOSX") {
+			continue
+		}
+		entries = append(entries, f)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	lesson := &Lesson{Name: name}
+	for _, f := range entries {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, fmt.Errorf("core: read zip entry %s: %w", f.Name, err)
+		}
+		src, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: read zip entry %s: %w", f.Name, err)
+		}
+		m, err := ParseModule(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: zip entry %s: %w", f.Name, err)
+		}
+		lesson.Modules = append(lesson.Modules, m)
+	}
+	if len(lesson.Modules) == 0 {
+		return nil, fmt.Errorf("core: zip %s contains no module JSON files", name)
+	}
+	return lesson, nil
+}
+
+// LoadZipFile reads a lesson zip from disk.
+func LoadZipFile(path string) (*Lesson, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load lesson: %w", err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ReadZip(name, data)
+}
+
+// LoadModuleFile reads a single module JSON document from disk.
+func LoadModuleFile(path string) (*Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load module: %w", err)
+	}
+	return ParseModule(data)
+}
+
+// LoadDir loads every *.json file in a directory (non-recursive, in
+// lexical order) as a lesson: the unzipped layout educators iterate
+// on before packing.
+func LoadDir(dir string) (*Lesson, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: load dir: %w", err)
+	}
+	lesson := &Lesson{Name: filepath.Base(dir)}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m, err := LoadModuleFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		lesson.Modules = append(lesson.Modules, m)
+	}
+	if len(lesson.Modules) == 0 {
+		return nil, fmt.Errorf("core: directory %s contains no module JSON files", dir)
+	}
+	return lesson, nil
+}

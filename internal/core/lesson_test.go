@@ -1,0 +1,205 @@
+package core
+
+import (
+	"archive/zip"
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// makeLesson builds a two-module lesson.
+func makeLesson() *Lesson {
+	a := MustTemplate(6)
+	a.Name = "Lesson One"
+	b := MustTemplate(10)
+	b.Name = "Lesson Two"
+	return &Lesson{Name: "test", Modules: []*Module{a, b}}
+}
+
+func TestZipRoundTrip(t *testing.T) {
+	lesson := makeLesson()
+	var buf bytes.Buffer
+	if err := lesson.WriteZip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadZip("test", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("reloaded %d modules", back.Len())
+	}
+	for i := range lesson.Modules {
+		if !lesson.Modules[i].Equal(back.Modules[i]) {
+			t.Errorf("module %d changed across zip round trip", i)
+		}
+	}
+}
+
+// TestZipPreservesOrder: entry names are numbered, so sequential
+// presentation order survives even though zip readers sort names.
+func TestZipPreservesOrder(t *testing.T) {
+	lesson := &Lesson{Name: "ordered"}
+	for _, name := range []string{"Zulu", "Alpha", "Mike"} {
+		m := MustTemplate(6)
+		m.Name = name
+		lesson.Modules = append(lesson.Modules, m)
+	}
+	var buf bytes.Buffer
+	if err := lesson.WriteZip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadZip("ordered", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"Zulu", "Alpha", "Mike"} {
+		if back.Modules[i].Name != want {
+			t.Errorf("module %d = %q, want %q (order lost)", i, back.Modules[i].Name, want)
+		}
+	}
+}
+
+// TestZipIgnoresNoise: non-JSON entries, dotfiles, directories, and
+// macOS resource forks are skipped.
+func TestZipIgnoresNoise(t *testing.T) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	writeEntry := func(name, content string) {
+		f, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := EncodeModule(MustTemplate(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeEntry("README.txt", "not a module")
+	writeEntry("__MACOSX/01_module.json", "resource fork junk")
+	writeEntry(".hidden.json", "junk")
+	writeEntry("01_module.json", string(data))
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lesson, err := ReadZip("noisy", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lesson.Len() != 1 {
+		t.Errorf("loaded %d modules, want 1", lesson.Len())
+	}
+}
+
+func TestZipEmptyRejected(t *testing.T) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadZip("empty", buf.Bytes()); err == nil {
+		t.Error("empty zip accepted")
+	}
+	if _, err := ReadZip("garbage", []byte("not a zip")); err == nil {
+		t.Error("garbage accepted as zip")
+	}
+}
+
+func TestZipBadModuleRejected(t *testing.T) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	f, _ := zw.Create("01_bad.json")
+	if _, err := f.Write([]byte("{broken")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadZip("bad", buf.Bytes()); err == nil {
+		t.Error("corrupt module accepted")
+	}
+}
+
+func TestLoadZipFileAndDir(t *testing.T) {
+	dir := t.TempDir()
+	lesson := makeLesson()
+
+	zipPath := filepath.Join(dir, "lesson.zip")
+	var buf bytes.Buffer
+	if err := lesson.WriteZip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(zipPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromZip, err := LoadZipFile(zipPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromZip.Name != "lesson" || fromZip.Len() != 2 {
+		t.Errorf("LoadZipFile: name=%q len=%d", fromZip.Name, fromZip.Len())
+	}
+
+	// Unpacked directory layout.
+	moduleDir := filepath.Join(dir, "modules")
+	if err := os.MkdirAll(moduleDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range lesson.Modules {
+		data, err := EncodeModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Join(moduleDir, []string{"01_a.json", "02_b.json"}[i])
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fromDir, err := LoadDir(moduleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDir.Len() != 2 || fromDir.Modules[0].Name != "Lesson One" {
+		t.Errorf("LoadDir: %d modules, first %q", fromDir.Len(), fromDir.Modules[0].Name)
+	}
+
+	if _, err := LoadDir(dir + "/missing"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	if _, err := LoadZipFile(dir + "/missing.zip"); err == nil {
+		t.Error("missing zip accepted")
+	}
+}
+
+func TestLessonValidatePrefixes(t *testing.T) {
+	lesson := makeLesson()
+	lesson.Modules[1].AxisLabels[0] = "" // inject an error
+	issues := lesson.Validate()
+	if issues.OK() {
+		t.Fatal("invalid lesson passed")
+	}
+	found := false
+	for _, i := range issues.Errs() {
+		if len(i.Field) > 0 && i.Field[0] == 'm' { // "module[1] …"
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("findings not prefixed with module position:\n%s", issues)
+	}
+}
+
+func TestModuleFileNameSlug(t *testing.T) {
+	m := &Module{Name: "DDoS Attack! (Fig 9c)"}
+	got := moduleFileName(2, m)
+	if got != "03_ddos_attack_fig_9c.json" {
+		t.Errorf("moduleFileName = %q", got)
+	}
+	if got := moduleFileName(0, &Module{Name: "###"}); got != "01_module.json" {
+		t.Errorf("fallback name = %q", got)
+	}
+}

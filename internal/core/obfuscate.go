@@ -1,0 +1,88 @@
+package core
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Answer obfuscation implements the paper's future-work item
+// "obfuscating question answers in the module file": a module can
+// carry, instead of the plain correct_answer_element index, a salted
+// digest of the correct answer's text. A student who opens the JSON
+// in a text editor (the format's whole point) no longer sees which
+// option is right, while the game resolves it by digesting each
+// answer and comparing.
+//
+// The scheme is a deterrent, not cryptography: with three options an
+// adversarial student can brute-force it trivially. That matches the
+// feature's intent — keeping the displayed quiz honest, not securing
+// secrets.
+
+// obfuscationDigestLen is the hex length stored in the module file;
+// 16 hex chars (64 bits) keeps files readable.
+const obfuscationDigestLen = 16
+
+// digestAnswer computes the stored token for an answer text under a
+// salt.
+func digestAnswer(salt, answer string) string {
+	sum := sha256.Sum256([]byte(salt + "\x00" + answer))
+	return hex.EncodeToString(sum[:])[:obfuscationDigestLen]
+}
+
+// ObfuscateAnswer converts the module's plain correct answer into
+// obfuscated form: it fills AnswerSalt and CorrectAnswerDigest and
+// resets CorrectAnswerElement to zero. A salt is generated when the
+// module has none. It errors when the module has no active question
+// or the index is out of range.
+func (m *Module) ObfuscateAnswer() error {
+	if !m.HasQuestion {
+		return fmt.Errorf("core: obfuscate: module %q has no active question", m.Name)
+	}
+	if m.CorrectAnswerElement < 0 || m.CorrectAnswerElement >= len(m.Answers) {
+		return fmt.Errorf("core: obfuscate: correct_answer_element %d out of range [0,%d)", m.CorrectAnswerElement, len(m.Answers))
+	}
+	if m.AnswerSalt == "" {
+		var raw [8]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return fmt.Errorf("core: obfuscate: %w", err)
+		}
+		m.AnswerSalt = hex.EncodeToString(raw[:])
+	}
+	m.CorrectAnswerDigest = digestAnswer(m.AnswerSalt, m.Answers[m.CorrectAnswerElement])
+	m.CorrectAnswerElement = 0
+	return nil
+}
+
+// Obfuscated reports whether the module stores its correct answer in
+// digest form.
+func (m *Module) Obfuscated() bool { return m.CorrectAnswerDigest != "" }
+
+// ResolveCorrect returns the index of the correct answer, resolving
+// the digest when the module is obfuscated. It errors when no
+// answer, or more than one, matches the digest (a corrupted or
+// tampered file).
+func (m *Module) ResolveCorrect() (int, error) {
+	if !m.Obfuscated() {
+		if m.CorrectAnswerElement < 0 || m.CorrectAnswerElement >= len(m.Answers) {
+			return 0, fmt.Errorf("core: correct_answer_element %d out of range [0,%d)", m.CorrectAnswerElement, len(m.Answers))
+		}
+		return m.CorrectAnswerElement, nil
+	}
+	want := strings.ToLower(strings.TrimSpace(m.CorrectAnswerDigest))
+	match := -1
+	for i, a := range m.Answers {
+		if digestAnswer(m.AnswerSalt, a) == want {
+			if match >= 0 {
+				return 0, fmt.Errorf("core: answers %d and %d both match the digest (duplicate answers?)", match, i)
+			}
+			match = i
+		}
+	}
+	if match < 0 {
+		return 0, fmt.Errorf("core: no answer matches correct_answer_digest (edited answers without re-obfuscating?)")
+	}
+	return match, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestModuleJSONRoundTripProperty: arbitrary well-formed modules
+// survive encode→parse unchanged.
+func TestModuleJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(9)
+		m := MustTemplate(10) // valid skeleton
+		m.Size = FormatSize(n)
+		m.Name = randName(rng)
+		m.Hint = randName(rng)
+		m.AxisLabels = make([]string, n)
+		for i := range m.AxisLabels {
+			m.AxisLabels[i] = randLabel(rng, i)
+		}
+		m.TrafficMatrix = randGrid(rng, n, 14)
+		m.TrafficMatrixColors = randGrid(rng, n, 2)
+		m.ExtendedColors = rng.Intn(2) == 0
+		data, err := EncodeModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseModule(data)
+		if err != nil {
+			t.Fatalf("trial %d: parse back: %v\n%s", trial, err, data)
+		}
+		if !m.Equal(back) {
+			t.Fatalf("trial %d: round trip changed module", trial)
+		}
+	}
+}
+
+// randName produces a printable string including JSON-hostile runes.
+func randName(rng *rand.Rand) string {
+	alphabet := []rune(`abcXYZ 0123"\,][}{:/虎🙂`)
+	k := 1 + rng.Intn(12)
+	out := make([]rune, k)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+// randLabel produces a unique short label.
+func randLabel(rng *rand.Rand, i int) string {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return string(letters[rng.Intn(26)]) + string(rune('0'+i))
+}
+
+// randGrid fills an n×n grid with values in [0,max].
+func randGrid(rng *rand.Rand, n, max int) [][]int {
+	g := make([][]int, n)
+	for i := range g {
+		g[i] = make([]int, n)
+		for j := range g[i] {
+			g[i][j] = rng.Intn(max + 1)
+		}
+	}
+	return g
+}
+
+// TestNormalizeIdempotentProperty: normalizing already-strict JSON
+// is the identity, and normalizing twice equals normalizing once.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(name string, vals []int8) bool {
+		doc := map[string]any{"name": name, "vals": vals}
+		strict, err := json.Marshal(doc)
+		if err != nil {
+			return true // skip unmarshalable inputs
+		}
+		once := normalizeJSON(strict)
+		if string(once) != string(strict) {
+			return false
+		}
+		twice := normalizeJSON(once)
+		return string(twice) == string(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormalizeNeverBreaksValidity: inserting trailing commas into a
+// valid document and normalizing yields a parseable document with
+// identical content.
+func TestNormalizeNeverBreaksValidity(t *testing.T) {
+	m := MustTemplate(6)
+	strict, err := EncodeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a trailing comma before every closing bracket outside
+	// strings (a crude but aggressive mutation).
+	var mutated []byte
+	inString := false
+	for i := 0; i < len(strict); i++ {
+		c := strict[i]
+		if inString {
+			mutated = append(mutated, c)
+			if c == '\\' && i+1 < len(strict) {
+				i++
+				mutated = append(mutated, strict[i])
+			} else if c == '"' {
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inString = true
+		case ']', '}':
+			// Insert ",\n" before the close unless the container
+			// is empty.
+			j := len(mutated) - 1
+			for j >= 0 && (mutated[j] == ' ' || mutated[j] == '\n' || mutated[j] == '\t') {
+				j--
+			}
+			if j >= 0 && mutated[j] != '[' && mutated[j] != '{' && mutated[j] != ',' {
+				mutated = append(mutated, ',')
+			}
+		}
+		mutated = append(mutated, c)
+	}
+	back, err := ParseModule(mutated)
+	if err != nil {
+		t.Fatalf("comma-mutated module failed to parse: %v\n%s", err, mutated)
+	}
+	if !m.Equal(back) {
+		t.Error("comma mutation changed content")
+	}
+}
+
+// TestValidateNeverPanicsProperty: Validate must return findings,
+// not panic, for arbitrary garbage modules.
+func TestValidateNeverPanicsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 300; trial++ {
+		m := &Module{
+			Name:                 randName(rng),
+			Size:                 randName(rng),
+			HasQuestion:          rng.Intn(2) == 0,
+			Question:             randName(rng),
+			CorrectAnswerElement: rng.Intn(7) - 3,
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			m.AxisLabels = append(m.AxisLabels, randName(rng))
+			m.Answers = append(m.Answers, randName(rng))
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			row := make([]int, rng.Intn(5))
+			for j := range row {
+				row[j] = rng.Intn(40) - 10
+			}
+			m.TrafficMatrix = append(m.TrafficMatrix, row)
+			m.TrafficMatrixColors = append(m.TrafficMatrixColors, row)
+		}
+		_ = m.Validate() // must not panic
+	}
+}

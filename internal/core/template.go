@@ -1,0 +1,130 @@
+package core
+
+import "fmt"
+
+// The paper: "To create a single matrix lesson there are example
+// files that can be duplicated and modified. There are template JSON
+// files for 6×6 or 10×10 matrices." Template constructs those
+// starting points programmatically; cmd/twmodule writes them to disk
+// for educators.
+
+// TemplateSizes lists the matrix sizes the paper ships templates for.
+var TemplateSizes = []int{6, 10}
+
+// Template returns a ready-to-edit module of the given square size.
+// It reproduces the paper's 10×10 example exactly at n=10 (identity
+// diagonal plus an anti-diagonal of 2s, workstation/server/external/
+// adversary labels, red adversary columns and blue adversary rows)
+// and scales the same construction to other sizes. The question is
+// the paper's "How many packets did WS1 send to ADV4?" adapted to the
+// last adversary label.
+func Template(n int) (*Module, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: template size %d too small; need at least 2", n)
+	}
+	labels := templateLabels(n)
+
+	traffic := make([][]int, n)
+	colors := make([][]int, n)
+	// The template's layout groups labels into blue space (work
+	// stations + servers), greyspace (externals), and red space
+	// (adversaries), mirroring the paper's example: at n=10 that is
+	// 4 blue, 2 grey, 4 red (WS1–WS3+SRV1, EXT1–EXT2, ADV1–ADV4).
+	blueEnd, greyEnd := templateZones(n)
+	for i := 0; i < n; i++ {
+		traffic[i] = make([]int, n)
+		colors[i] = make([]int, n)
+		traffic[i][i] = 1
+		traffic[i][n-1-i] = 2
+		if i == n-1-i {
+			// Odd sizes: center cell would collide; keep the
+			// diagonal 1.
+			traffic[i][i] = 1
+		}
+		for j := 0; j < n; j++ {
+			switch {
+			case i < blueEnd && j >= greyEnd:
+				colors[i][j] = ColorRed // blue hosts touching adversaries
+			case i >= greyEnd && j < blueEnd:
+				colors[i][j] = ColorBlue // adversaries touching blue hosts
+			default:
+				colors[i][j] = ColorGrey
+			}
+		}
+	}
+
+	lastAdv := labels[n-1]
+	return &Module{
+		Name:                fmt.Sprintf("%dx%d Template", n, n),
+		Size:                FormatSize(n),
+		Author:              "Chasen Milner",
+		AxisLabels:          labels,
+		TrafficMatrix:       traffic,
+		TrafficMatrixColors: colors,
+		HasQuestion:         true,
+		Question:            fmt.Sprintf("How many packets did %s send to %s?", labels[0], lastAdv),
+		Answers:             []string{"0", "1", "2"},
+		// The first label always sends 2 packets to the last label
+		// via the template's anti-diagonal, so "2" (index 2) is
+		// correct at every size.
+		CorrectAnswerElement: 2,
+	}, nil
+}
+
+// templateZones returns the end indices (exclusive) of the blue and
+// grey label zones for an n-label template: 40% blue and 20% grey,
+// matching the paper's 4/2/4 split at n=10.
+func templateZones(n int) (blueEnd, greyEnd int) {
+	blueEnd = n * 4 / 10
+	if blueEnd < 1 {
+		blueEnd = 1
+	}
+	greyEnd = n * 6 / 10
+	if greyEnd <= blueEnd {
+		greyEnd = blueEnd + 1
+	}
+	if greyEnd > n {
+		greyEnd = n
+	}
+	return blueEnd, greyEnd
+}
+
+// templateLabels builds the label list used by the templates. At
+// n=10 it matches the paper's example verbatim: WS1–WS3, SRV1,
+// EXT1–EXT2, ADV1–ADV4.
+func templateLabels(n int) []string {
+	blueEnd, greyEnd := templateZones(n)
+	// Within the blue zone the last quarter (at least one) are
+	// servers; the rest are work stations.
+	srvCount := blueEnd / 4
+	if srvCount < 1 {
+		srvCount = 1
+	}
+	if srvCount >= blueEnd {
+		srvCount = blueEnd - 1
+	}
+	labels := make([]string, 0, n)
+	for i := 0; i < blueEnd-srvCount; i++ {
+		labels = append(labels, fmt.Sprintf("WS%d", i+1))
+	}
+	for i := 0; i < srvCount; i++ {
+		labels = append(labels, fmt.Sprintf("SRV%d", i+1))
+	}
+	for i := 0; i < greyEnd-blueEnd; i++ {
+		labels = append(labels, fmt.Sprintf("EXT%d", i+1))
+	}
+	for i := 0; i < n-greyEnd; i++ {
+		labels = append(labels, fmt.Sprintf("ADV%d", i+1))
+	}
+	return labels
+}
+
+// MustTemplate is Template but panics on error; for the built-in
+// module library and tests.
+func MustTemplate(n int) *Module {
+	m, err := Template(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

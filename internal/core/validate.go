@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity classifies a validation finding.
+type Severity int
+
+const (
+	// Warning findings display imperfectly but still play (e.g. a
+	// cell above the 15-packet display guidance).
+	Warning Severity = iota
+	// Error findings make the module unplayable (e.g. a ragged
+	// matrix).
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Issue is one validation finding with the field it concerns.
+type Issue struct {
+	// Severity is Warning or Error.
+	Severity Severity
+	// Field is the JSON field the finding concerns.
+	Field string
+	// Msg describes the finding.
+	Msg string
+}
+
+// String renders the issue as "severity field: message".
+func (i Issue) String() string {
+	return fmt.Sprintf("%s %s: %s", i.Severity, i.Field, i.Msg)
+}
+
+// Issues is a list of findings with helpers for severity filtering.
+type Issues []Issue
+
+// Errs returns only the Error-severity findings.
+func (is Issues) Errs() Issues {
+	var out Issues
+	for _, i := range is {
+		if i.Severity == Error {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Warnings returns only the Warning-severity findings.
+func (is Issues) Warnings() Issues {
+	var out Issues
+	for _, i := range is {
+		if i.Severity == Warning {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OK reports whether the list contains no Error findings.
+func (is Issues) OK() bool { return len(is.Errs()) == 0 }
+
+// String renders one finding per line.
+func (is Issues) String() string {
+	lines := make([]string, len(is))
+	for k, i := range is {
+		lines[k] = i.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Validate checks a module against the format's rules and the
+// paper's display guidance. It returns all findings rather than
+// stopping at the first so an educator sees every problem in one
+// pass.
+func (m *Module) Validate() Issues {
+	var issues Issues
+	errf := func(field, format string, args ...any) {
+		issues = append(issues, Issue{Severity: Error, Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+	warnf := func(field, format string, args ...any) {
+		issues = append(issues, Issue{Severity: Warning, Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if strings.TrimSpace(m.Name) == "" {
+		errf("name", "module needs a non-empty name")
+	}
+	if strings.TrimSpace(m.Author) == "" {
+		warnf("author", "module has no author credit")
+	}
+
+	n, err := m.Dim()
+	if err != nil {
+		errf("size", "%v", err)
+		// Without a valid size, dimension checks below would
+		// cascade into noise; fall back to the label count when
+		// plausible so matrix checks still run.
+		n = len(m.AxisLabels)
+		if n == 0 {
+			return issues
+		}
+	}
+
+	// Axis labels: one list applied to both axes.
+	if len(m.AxisLabels) != n {
+		errf("axis_labels", "have %d labels, size %s needs %d", len(m.AxisLabels), m.Size, n)
+	}
+	seen := make(map[string]int)
+	for i, label := range m.AxisLabels {
+		trimmed := strings.TrimSpace(label)
+		if trimmed == "" {
+			errf("axis_labels", "label %d is empty", i)
+			continue
+		}
+		if prev, dup := seen[trimmed]; dup {
+			errf("axis_labels", "label %q repeats at positions %d and %d", trimmed, prev, i)
+		}
+		seen[trimmed] = i
+		if len(trimmed) > 4 {
+			warnf("axis_labels", "label %q is long; shorter all-caps labels are easier to view in the game", trimmed)
+		} else if trimmed != strings.ToUpper(trimmed) {
+			warnf("axis_labels", "label %q is not all caps; all-caps labels are easier to view in the game", trimmed)
+		}
+	}
+
+	issues = append(issues, validateGrid("traffic_matrix", m.TrafficMatrix, n, func(field string, i, j, v int) Issues {
+		var out Issues
+		if v < 0 {
+			out = append(out, Issue{Error, field, fmt.Sprintf("cell (%d,%d) has negative packet count %d", i, j, v)})
+		}
+		if v > MaxDisplayPackets {
+			out = append(out, Issue{Warning, field, fmt.Sprintf("cell (%d,%d) has %d packets; fewer than 15 displays well", i, j, v)})
+		}
+		return out
+	})...)
+
+	maxColor := ColorRed
+	if m.ExtendedColors {
+		maxColor = MaxExtendedColor
+	}
+	issues = append(issues, validateGrid("traffic_matrix_colors", m.TrafficMatrixColors, n, func(field string, i, j, v int) Issues {
+		if v < ColorGrey || v > maxColor {
+			return Issues{{Warning, field, fmt.Sprintf("cell (%d,%d) has unknown color code %d; it will render black in-game", i, j, v)}}
+		}
+		return nil
+	})...)
+
+	// Question block.
+	if m.HasQuestion {
+		if _, err := m.ResolveCorrect(); err != nil {
+			field := "correct_answer_element"
+			if m.Obfuscated() {
+				field = "correct_answer_digest"
+			}
+			errf(field, "%v", err)
+		} else if q, ok := m.Quiz(); ok {
+			if err := q.Validate(); err != nil {
+				errf("question", "%v", err)
+			}
+		}
+		if len(m.Answers) != 0 && len(m.Answers) != RecommendedAnswerCount {
+			warnf("answers", "%d answers given; the paper recommends exactly %d", len(m.Answers), RecommendedAnswerCount)
+		}
+	} else if strings.TrimSpace(m.Question) != "" || len(m.Answers) > 0 {
+		warnf("has_question", "question content present but has_question is false; it will not display")
+	}
+
+	return issues
+}
+
+// RecommendedAnswerCount mirrors quiz.RecommendedChoices: the paper's
+// deliberate three-option design.
+const RecommendedAnswerCount = 3
+
+// validateGrid checks that a matrix field is present, n×n, and
+// passes the per-cell check.
+func validateGrid(field string, grid [][]int, n int, cell func(field string, i, j, v int) Issues) Issues {
+	var issues Issues
+	if len(grid) == 0 {
+		return Issues{{Error, field, "missing"}}
+	}
+	if len(grid) != n {
+		issues = append(issues, Issue{Error, field, fmt.Sprintf("has %d rows, want %d", len(grid), n)})
+	}
+	for i, row := range grid {
+		if len(row) != n {
+			issues = append(issues, Issue{Error, field, fmt.Sprintf("row %d has %d entries, want %d", i, len(row), n)})
+			continue
+		}
+		for j, v := range row {
+			issues = append(issues, cell(field, i, j, v)...)
+		}
+	}
+	return issues
+}

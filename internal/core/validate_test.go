@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// validModule returns a minimal valid 2x2 module.
+func validModule() *Module {
+	return &Module{
+		Name:                 "Valid",
+		Size:                 "2x2",
+		Author:               "T",
+		AxisLabels:           []string{"A", "B"},
+		TrafficMatrix:        [][]int{{0, 1}, {1, 0}},
+		TrafficMatrixColors:  [][]int{{0, 0}, {0, 0}},
+		HasQuestion:          true,
+		Question:             "q?",
+		Answers:              []string{"1", "2", "3"},
+		CorrectAnswerElement: 0,
+	}
+}
+
+func TestValidModulePasses(t *testing.T) {
+	issues := validModule().Validate()
+	if len(issues) != 0 {
+		t.Errorf("valid module produced findings:\n%s", issues)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]func(*Module){
+		"empty name":        func(m *Module) { m.Name = "  " },
+		"bad size":          func(m *Module) { m.Size = "banana" },
+		"non-square size":   func(m *Module) { m.Size = "2x3" },
+		"label count":       func(m *Module) { m.AxisLabels = []string{"A"} },
+		"empty label":       func(m *Module) { m.AxisLabels = []string{"A", " "} },
+		"duplicate label":   func(m *Module) { m.AxisLabels = []string{"A", "A"} },
+		"missing matrix":    func(m *Module) { m.TrafficMatrix = nil },
+		"short matrix":      func(m *Module) { m.TrafficMatrix = [][]int{{0, 1}} },
+		"ragged matrix":     func(m *Module) { m.TrafficMatrix = [][]int{{0, 1}, {1}} },
+		"negative packets":  func(m *Module) { m.TrafficMatrix[0][1] = -1 },
+		"missing colors":    func(m *Module) { m.TrafficMatrixColors = nil },
+		"ragged colors":     func(m *Module) { m.TrafficMatrixColors = [][]int{{0}, {0, 0}} },
+		"empty question":    func(m *Module) { m.Question = "" },
+		"bad correct index": func(m *Module) { m.CorrectAnswerElement = 5 },
+		"duplicate answers": func(m *Module) { m.Answers = []string{"1", "1", "2"} },
+	}
+	for name, mutate := range cases {
+		m := validModule()
+		mutate(m)
+		if issues := m.Validate(); issues.OK() {
+			t.Errorf("%s: no error reported", name)
+		}
+	}
+}
+
+func TestValidateWarnings(t *testing.T) {
+	cases := map[string]func(*Module){
+		"no author":       func(m *Module) { m.Author = "" },
+		"long label":      func(m *Module) { m.AxisLabels[0] = "VERYLONGNAME" },
+		"lowercase label": func(m *Module) { m.AxisLabels[0] = "ab" },
+		"too many packets": func(m *Module) {
+			m.TrafficMatrix[0][1] = MaxDisplayPackets + 1
+		},
+		"unknown color": func(m *Module) { m.TrafficMatrixColors[0][0] = 7 },
+		"orphan question": func(m *Module) {
+			m.HasQuestion = false
+		},
+		"answer count": func(m *Module) {
+			m.Answers = []string{"1", "2", "3", "4"}
+			m.CorrectAnswerElement = 3
+		},
+	}
+	for name, mutate := range cases {
+		m := validModule()
+		mutate(m)
+		issues := m.Validate()
+		if !issues.OK() {
+			t.Errorf("%s: produced errors, want warnings only:\n%s", name, issues.Errs())
+		}
+		if len(issues.Warnings()) == 0 {
+			t.Errorf("%s: no warning reported", name)
+		}
+	}
+}
+
+// TestValidate15PacketBoundary pins the display-guidance boundary:
+// 14 is fine, 15 warns ("fewer than 15 packets displays well").
+func TestValidate15PacketBoundary(t *testing.T) {
+	m := validModule()
+	m.TrafficMatrix[0][1] = 14
+	if len(m.Validate().Warnings()) != 0 {
+		t.Error("14 packets warned")
+	}
+	m.TrafficMatrix[0][1] = 15
+	if len(m.Validate().Warnings()) == 0 {
+		t.Error("15 packets did not warn")
+	}
+}
+
+func TestIssueFormatting(t *testing.T) {
+	i := Issue{Severity: Error, Field: "size", Msg: "broken"}
+	if got := i.String(); got != "error size: broken" {
+		t.Errorf("Issue.String = %q", got)
+	}
+	w := Issue{Severity: Warning, Field: "author", Msg: "missing"}
+	if !strings.HasPrefix(w.String(), "warning") {
+		t.Errorf("warning prefix wrong: %q", w)
+	}
+}
+
+func TestIssuesFiltering(t *testing.T) {
+	issues := Issues{
+		{Severity: Error, Field: "a", Msg: "x"},
+		{Severity: Warning, Field: "b", Msg: "y"},
+		{Severity: Error, Field: "c", Msg: "z"},
+	}
+	if len(issues.Errs()) != 2 || len(issues.Warnings()) != 1 {
+		t.Error("severity filters wrong")
+	}
+	if issues.OK() {
+		t.Error("OK with errors present")
+	}
+	if !(Issues{{Severity: Warning, Field: "b", Msg: "y"}}).OK() {
+		t.Error("warnings alone should be OK")
+	}
+	if got := issues.String(); !strings.Contains(got, "\n") {
+		t.Errorf("multi-issue String should be multi-line: %q", got)
+	}
+}
+
+// TestValidateBadSizeStillChecksMatrix: with an invalid size, the
+// validator falls back to the label count so matrix findings still
+// surface.
+func TestValidateBadSizeStillChecksMatrix(t *testing.T) {
+	m := validModule()
+	m.Size = "broken"
+	m.TrafficMatrix = [][]int{{0, 1}} // also wrong
+	issues := m.Validate()
+	matrixFindings := 0
+	for _, i := range issues.Errs() {
+		if strings.Contains(i.Field, "traffic_matrix") {
+			matrixFindings++
+		}
+	}
+	if matrixFindings == 0 {
+		t.Errorf("matrix errors suppressed by size error:\n%s", issues)
+	}
+}

@@ -1,0 +1,228 @@
+// Package course implements the paper's future-work "hierarchical
+// learning modules": a course manifest groups lessons into named
+// units with prerequisites, so an educator can gate the DDoS module
+// set behind the basic-topologies set. Manifests are JSON with the
+// same editing ergonomics as learning modules (trailing commas and
+// comments tolerated), lessons are referenced by built-in name or by
+// zip/directory path, and progression is tracked per student.
+package course
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Unit is one named group of lessons with optional prerequisites.
+type Unit struct {
+	// Name identifies the unit (unique within the course).
+	Name string `json:"name"`
+	// Description is shown to the student.
+	Description string `json:"description,omitempty"`
+	// Lessons are lesson references: built-in lesson names or paths
+	// to lesson zips/directories, resolved by a Loader.
+	Lessons []string `json:"lessons"`
+	// Requires lists unit names that must be completed first.
+	Requires []string `json:"requires,omitempty"`
+}
+
+// Course is a full manifest.
+type Course struct {
+	// Name titles the course.
+	Name string `json:"name"`
+	// Author credits the course author.
+	Author string `json:"author,omitempty"`
+	// Units are the course's units in authored order.
+	Units []Unit `json:"units"`
+}
+
+// Parse decodes a course manifest, tolerating trailing commas and
+// comments like the module format, and validates it.
+func Parse(src []byte) (*Course, error) {
+	var c Course
+	if err := core.DecodeLenient(src, &c); err != nil {
+		return nil, fmt.Errorf("course: parse: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadFile reads and parses a manifest from disk.
+func LoadFile(path string) (*Course, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("course: load: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate checks structure: non-empty name and units, unique unit
+// names, every lesson reference non-empty, every prerequisite known,
+// and no dependency cycles.
+func (c *Course) Validate() error {
+	if strings.TrimSpace(c.Name) == "" {
+		return fmt.Errorf("course: missing name")
+	}
+	if len(c.Units) == 0 {
+		return fmt.Errorf("course: no units")
+	}
+	seen := make(map[string]bool, len(c.Units))
+	for i, u := range c.Units {
+		if strings.TrimSpace(u.Name) == "" {
+			return fmt.Errorf("course: unit %d has no name", i)
+		}
+		if seen[u.Name] {
+			return fmt.Errorf("course: duplicate unit %q", u.Name)
+		}
+		seen[u.Name] = true
+		if len(u.Lessons) == 0 {
+			return fmt.Errorf("course: unit %q has no lessons", u.Name)
+		}
+		for _, l := range u.Lessons {
+			if strings.TrimSpace(l) == "" {
+				return fmt.Errorf("course: unit %q has an empty lesson reference", u.Name)
+			}
+		}
+	}
+	for _, u := range c.Units {
+		for _, req := range u.Requires {
+			if !seen[req] {
+				return fmt.Errorf("course: unit %q requires unknown unit %q", u.Name, req)
+			}
+			if req == u.Name {
+				return fmt.Errorf("course: unit %q requires itself", u.Name)
+			}
+		}
+	}
+	if _, err := c.Order(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Unit returns a unit by name.
+func (c *Course) Unit(name string) (Unit, bool) {
+	for _, u := range c.Units {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return Unit{}, false
+}
+
+// Order returns the units in a deterministic topological order
+// (prerequisites first, authored order among ready units). It
+// errors on dependency cycles, naming the units involved.
+func (c *Course) Order() ([]Unit, error) {
+	remaining := make(map[string]Unit, len(c.Units))
+	pending := make(map[string]int, len(c.Units)) // unmet prereq count
+	for _, u := range c.Units {
+		remaining[u.Name] = u
+		pending[u.Name] = len(u.Requires)
+	}
+	var order []Unit
+	done := make(map[string]bool, len(c.Units))
+	for len(order) < len(c.Units) {
+		progressed := false
+		for _, u := range c.Units { // authored order for determinism
+			if done[u.Name] || pending[u.Name] > 0 {
+				continue
+			}
+			order = append(order, u)
+			done[u.Name] = true
+			progressed = true
+			for _, other := range c.Units {
+				if done[other.Name] {
+					continue
+				}
+				for _, req := range other.Requires {
+					if req == u.Name {
+						pending[other.Name]--
+					}
+				}
+			}
+		}
+		if !progressed {
+			var stuck []string
+			for name, n := range pending {
+				if !done[name] && n > 0 {
+					stuck = append(stuck, name)
+				}
+			}
+			sort.Strings(stuck)
+			return nil, fmt.Errorf("course: dependency cycle among units: %s", strings.Join(stuck, ", "))
+		}
+	}
+	return order, nil
+}
+
+// Loader resolves a lesson reference into a lesson. The game wires
+// this to the built-in library plus zip/directory loading; tests
+// inject fakes.
+type Loader func(ref string) (*core.Lesson, error)
+
+// FileAwareLoader wraps a by-name loader with zip and directory
+// resolution: references ending in .zip load as lesson zips, paths
+// that are directories load as module directories, and anything else
+// goes to the by-name loader.
+func FileAwareLoader(byName Loader) Loader {
+	return func(ref string) (*core.Lesson, error) {
+		if strings.HasSuffix(strings.ToLower(ref), ".zip") {
+			return core.LoadZipFile(ref)
+		}
+		if info, err := os.Stat(ref); err == nil && info.IsDir() {
+			return core.LoadDir(ref)
+		}
+		return byName(ref)
+	}
+}
+
+// ResolveAll loads every lesson of every unit, returning an error
+// with the unit and reference on failure. The result maps unit name
+// to its lessons in order.
+func (c *Course) ResolveAll(load Loader) (map[string][]*core.Lesson, error) {
+	out := make(map[string][]*core.Lesson, len(c.Units))
+	for _, u := range c.Units {
+		for _, ref := range u.Lessons {
+			lesson, err := load(ref)
+			if err != nil {
+				return nil, fmt.Errorf("course: unit %q lesson %q: %w", u.Name, ref, err)
+			}
+			if issues := lesson.Validate(); !issues.OK() {
+				return nil, fmt.Errorf("course: unit %q lesson %q invalid:\n%s", u.Name, ref, issues.Errs())
+			}
+			out[u.Name] = append(out[u.Name], lesson)
+		}
+	}
+	return out, nil
+}
+
+// Outline renders the course structure as indented text.
+func (c *Course) Outline() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", c.Name)
+	if c.Author != "" {
+		fmt.Fprintf(&b, " — %s", c.Author)
+	}
+	b.WriteByte('\n')
+	order, err := c.Order()
+	if err != nil {
+		order = c.Units
+	}
+	for _, u := range order {
+		fmt.Fprintf(&b, "  %s", u.Name)
+		if len(u.Requires) > 0 {
+			fmt.Fprintf(&b, " (requires %s)", strings.Join(u.Requires, ", "))
+		}
+		b.WriteByte('\n')
+		for _, l := range u.Lessons {
+			fmt.Fprintf(&b, "    - %s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package course
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// sampleManifest mirrors the built-in curriculum's natural
+// hierarchy, with the paper-style trailing commas.
+const sampleManifest = `{
+	// gate threats behind the basics
+	"name": "Traffic Matrices 101",
+	"author": "An Educator",
+	"units": [
+		{"name": "Basics", "lessons": ["training", "topologies",],},
+		{"name": "Threats", "lessons": ["attack", "ddos",], "requires": ["Basics",],},
+		{"name": "Theory", "lessons": ["graph-theory",], "requires": ["Basics",],},
+		{"name": "Capstone", "lessons": ["curriculum",], "requires": ["Threats", "Theory",],},
+	],
+}`
+
+func TestParseManifest(t *testing.T) {
+	c, err := Parse([]byte(sampleManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "Traffic Matrices 101" || len(c.Units) != 4 {
+		t.Errorf("parsed: %+v", c)
+	}
+	u, ok := c.Unit("Threats")
+	if !ok || len(u.Lessons) != 2 || u.Requires[0] != "Basics" {
+		t.Errorf("Threats unit = %+v", u)
+	}
+	if _, ok := c.Unit("Nope"); ok {
+		t.Error("unknown unit found")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := map[string]string{
+		"no name":        `{"units":[{"name":"A","lessons":["x"]}]}`,
+		"no units":       `{"name":"C","units":[]}`,
+		"unnamed unit":   `{"name":"C","units":[{"name":"","lessons":["x"]}]}`,
+		"dup unit":       `{"name":"C","units":[{"name":"A","lessons":["x"]},{"name":"A","lessons":["y"]}]}`,
+		"no lessons":     `{"name":"C","units":[{"name":"A","lessons":[]}]}`,
+		"empty lesson":   `{"name":"C","units":[{"name":"A","lessons":[""]}]}`,
+		"unknown prereq": `{"name":"C","units":[{"name":"A","lessons":["x"],"requires":["Ghost"]}]}`,
+		"self prereq":    `{"name":"C","units":[{"name":"A","lessons":["x"],"requires":["A"]}]}`,
+		"unknown field":  `{"name":"C","unitz":[]}`,
+	}
+	for name, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	src := `{"name":"C","units":[
+		{"name":"A","lessons":["x"],"requires":["B"]},
+		{"name":"B","lessons":["y"],"requires":["A"]}
+	]}`
+	_, err := Parse([]byte(src))
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestOrderTopological(t *testing.T) {
+	c, err := Parse([]byte(sampleManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, u := range order {
+		pos[u.Name] = i
+	}
+	if pos["Basics"] > pos["Threats"] || pos["Basics"] > pos["Theory"] {
+		t.Errorf("prerequisites out of order: %v", pos)
+	}
+	if pos["Capstone"] != 3 {
+		t.Errorf("capstone not last: %v", pos)
+	}
+}
+
+// fakeLoader returns a tiny valid lesson for any known ref.
+func fakeLoader(t *testing.T) Loader {
+	t.Helper()
+	return func(ref string) (*core.Lesson, error) {
+		m := core.MustTemplate(6)
+		m.Name = "Lesson " + ref
+		return &core.Lesson{Name: ref, Modules: []*core.Module{m}}, nil
+	}
+}
+
+func TestResolveAll(t *testing.T) {
+	c, err := Parse([]byte(sampleManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lessons, err := c.ResolveAll(fakeLoader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lessons["Basics"]) != 2 || len(lessons["Capstone"]) != 1 {
+		t.Errorf("resolution counts wrong: %v", lessons)
+	}
+}
+
+func TestResolveAllSurfacesBadLessons(t *testing.T) {
+	c, err := Parse([]byte(`{"name":"C","units":[{"name":"A","lessons":["bad"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(ref string) (*core.Lesson, error) {
+		bad := core.MustTemplate(6)
+		bad.Name = "" // invalid
+		return &core.Lesson{Name: ref, Modules: []*core.Module{bad}}, nil
+	}
+	if _, err := c.ResolveAll(load); err == nil {
+		t.Error("invalid lesson accepted")
+	}
+}
+
+func TestProgressUnlocking(t *testing.T) {
+	c, err := Parse([]byte(sampleManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgress(c)
+	if !p.Unlocked("Basics") || p.Unlocked("Threats") || p.Unlocked("Capstone") {
+		t.Error("initial unlock state wrong")
+	}
+	if got := names(p.Available()); got != "Basics" {
+		t.Errorf("available = %q", got)
+	}
+	// Completing a locked unit is rejected.
+	if err := p.Complete("Capstone"); err == nil {
+		t.Error("locked unit completed")
+	}
+	if err := p.Complete("Basics"); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(p.Available()); got != "Threats,Theory" {
+		t.Errorf("available = %q", got)
+	}
+	if err := p.Complete("Threats"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Unlocked("Capstone") {
+		t.Error("capstone unlocked with Theory incomplete")
+	}
+	if err := p.Complete("Theory"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Complete("Capstone"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Error("course not done after all units")
+	}
+}
+
+func names(units []Unit) string {
+	var out []string
+	for _, u := range units {
+		out = append(out, u.Name)
+	}
+	return strings.Join(out, ",")
+}
+
+func TestProgressUnknownUnit(t *testing.T) {
+	c, _ := Parse([]byte(sampleManifest))
+	p := NewProgress(c)
+	if err := p.Complete("Ghost"); err == nil {
+		t.Error("unknown unit completed")
+	}
+	if p.Unlocked("Ghost") {
+		t.Error("unknown unit unlocked")
+	}
+}
+
+func TestOutlineAndSummary(t *testing.T) {
+	c, _ := Parse([]byte(sampleManifest))
+	outline := c.Outline()
+	for _, want := range []string{"Traffic Matrices 101", "Basics", "requires Basics", "- training"} {
+		if !strings.Contains(outline, want) {
+			t.Errorf("outline missing %q:\n%s", want, outline)
+		}
+	}
+	p := NewProgress(c)
+	_ = p.Complete("Basics")
+	summary := p.Summary()
+	if !strings.Contains(summary, "completed: Basics") ||
+		!strings.Contains(summary, "locked:    Capstone") {
+		t.Errorf("summary wrong:\n%s", summary)
+	}
+}
+
+func TestFileAwareLoaderFallsBack(t *testing.T) {
+	calls := 0
+	load := FileAwareLoader(func(ref string) (*core.Lesson, error) {
+		calls++
+		return &core.Lesson{Name: ref, Modules: []*core.Module{core.MustTemplate(6)}}, nil
+	})
+	if _, err := load("training"); err != nil || calls != 1 {
+		t.Errorf("by-name fallback not used: calls=%d err=%v", calls, err)
+	}
+	if _, err := load("/definitely/missing/lesson.zip"); err == nil {
+		t.Error("missing zip accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package course
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Progress tracks one student's position in a course: which units
+// are completed and therefore which are unlocked.
+type Progress struct {
+	course    *Course
+	completed map[string]bool
+}
+
+// NewProgress starts tracking for the course.
+func NewProgress(c *Course) *Progress {
+	return &Progress{course: c, completed: make(map[string]bool)}
+}
+
+// Completed reports whether a unit is done.
+func (p *Progress) Completed(unit string) bool { return p.completed[unit] }
+
+// Unlocked reports whether all of a unit's prerequisites are done.
+func (p *Progress) Unlocked(unit string) bool {
+	u, ok := p.course.Unit(unit)
+	if !ok {
+		return false
+	}
+	for _, req := range u.Requires {
+		if !p.completed[req] {
+			return false
+		}
+	}
+	return true
+}
+
+// Available returns the units the student can start now (unlocked
+// and not yet completed), in authored order.
+func (p *Progress) Available() []Unit {
+	var out []Unit
+	for _, u := range p.course.Units {
+		if !p.completed[u.Name] && p.Unlocked(u.Name) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Complete marks a unit done. It errors when the unit is unknown or
+// still locked — completing a locked unit would corrupt the
+// hierarchy's meaning.
+func (p *Progress) Complete(unit string) error {
+	if _, ok := p.course.Unit(unit); !ok {
+		return fmt.Errorf("course: unknown unit %q", unit)
+	}
+	if !p.Unlocked(unit) {
+		return fmt.Errorf("course: unit %q is locked (prerequisites incomplete)", unit)
+	}
+	p.completed[unit] = true
+	return nil
+}
+
+// Done reports whether every unit is completed.
+func (p *Progress) Done() bool {
+	for _, u := range p.course.Units {
+		if !p.completed[u.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the student's progress.
+func (p *Progress) Summary() string {
+	var b strings.Builder
+	var done, locked, open []string
+	for _, u := range p.course.Units {
+		switch {
+		case p.completed[u.Name]:
+			done = append(done, u.Name)
+		case p.Unlocked(u.Name):
+			open = append(open, u.Name)
+		default:
+			locked = append(locked, u.Name)
+		}
+	}
+	sort.Strings(done)
+	fmt.Fprintf(&b, "completed: %s\n", orNone(done))
+	fmt.Fprintf(&b, "available: %s\n", orNone(open))
+	fmt.Fprintf(&b, "locked:    %s\n", orNone(locked))
+	return b.String()
+}
+
+func orNone(names []string) string {
+	if len(names) == 0 {
+		return "(none)"
+	}
+	return strings.Join(names, ", ")
+}

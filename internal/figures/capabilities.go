@@ -1,0 +1,83 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/voxel"
+)
+
+// CapabilityCheck is one verified claim from Table II's MagicaVoxel
+// column.
+type CapabilityCheck struct {
+	// Claim is the table cell being verified.
+	Claim string
+	// Evidence describes what the check did.
+	Evidence string
+	// OK reports whether the capability held.
+	OK bool
+}
+
+// VerifyVoxelCapabilities exercises internal/voxel against each
+// capability Table II credits MagicaVoxel with, so the comparison
+// table is backed by a working substitute rather than prose.
+func VerifyVoxelCapabilities() []CapabilityCheck {
+	var checks []CapabilityCheck
+
+	// "LEGO-like voxel building": build a pallet voxel by voxel and
+	// confirm structure.
+	pallet := voxel.Pallet(voxel.PaintWood)
+	checks = append(checks, CapabilityCheck{
+		Claim:    "Model creation: LEGO-like voxel building",
+		Evidence: fmt.Sprintf("built pallet asset from %d voxels", pallet.Count()),
+		OK:       pallet.Count() > 0,
+	})
+
+	// "Paint-by-voxel, place colored voxel": place voxels of
+	// several colors and read them back.
+	m := voxel.New(4, 4, 4)
+	m.Set(0, 0, 0, voxel.PaintBlue)
+	m.Set(1, 0, 0, voxel.PaintRed)
+	m.Set(2, 0, 0, voxel.PaintGrey)
+	paintOK := m.At(0, 0, 0) == voxel.PaintBlue && m.At(1, 0, 0) == voxel.PaintRed && m.At(2, 0, 0) == voxel.PaintGrey
+	checks = append(checks, CapabilityCheck{
+		Claim:    "Texture creation: paint-by-voxel, place colored voxel",
+		Evidence: "placed blue/red/grey voxels and read them back",
+		OK:       paintOK,
+	})
+
+	// "Simple animations": the box-drop animation loops.
+	anim, err := voxel.BoxDropAnimation(6)
+	animOK := err == nil && anim.Len() == 6 && anim.FrameAt(anim.Duration()*2.5) != nil
+	checks = append(checks, CapabilityCheck{
+		Claim:    "Animation: simple animations",
+		Evidence: "built a 6-frame box-drop animation and sampled it mid-loop",
+		OK:       animOK,
+	})
+
+	// "Can export to .obj": export the box mesh and check OBJ
+	// structure.
+	var obj, mtl bytes.Buffer
+	mesh := voxel.GreedyMesh(voxel.Box())
+	objErr := voxel.WriteOBJ(&obj, mesh, "box", "box.mtl")
+	mtlErr := voxel.WriteMTL(&mtl, mesh)
+	objText := obj.String()
+	objOK := objErr == nil && mtlErr == nil &&
+		strings.Contains(objText, "v ") && strings.Contains(objText, "f ") &&
+		strings.Contains(objText, "usemtl") && strings.Contains(mtl.String(), "newmtl")
+	checks = append(checks, CapabilityCheck{
+		Claim:    "Can export to .obj: yes",
+		Evidence: fmt.Sprintf("exported box mesh: %d quads, %d bytes OBJ + MTL", len(mesh.Quads), obj.Len()),
+		OK:       objOK,
+	})
+
+	// "Cost: free to use": trivially true of a stdlib package; we
+	// record it for completeness.
+	checks = append(checks, CapabilityCheck{
+		Claim:    "Cost: free to use",
+		Evidence: "stdlib-only package in this repository",
+		OK:       true,
+	})
+	return checks
+}

@@ -1,0 +1,143 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFiguresGenerate is the big integration test: every paper
+// artifact must regenerate without error and report a summary.
+func TestAllFiguresGenerate(t *testing.T) {
+	for _, f := range All() {
+		arts, summary, err := f.Generate()
+		if err != nil {
+			t.Fatalf("%s (%s): %v", f.ID, f.Paper, err)
+		}
+		if len(arts) == 0 {
+			t.Errorf("%s: no artifacts", f.ID)
+		}
+		if summary == "" {
+			t.Errorf("%s: empty summary", f.ID)
+		}
+		for _, a := range arts {
+			if a.Name == "" {
+				t.Errorf("%s: artifact without name", f.ID)
+			}
+			if a.Text == "" && a.PPM == nil {
+				t.Errorf("%s: artifact %s is empty", f.ID, a.Name)
+			}
+		}
+	}
+}
+
+func TestFigureCount(t *testing.T) {
+	if got := len(All()); got != 12 {
+		t.Errorf("registry has %d artifacts, want 12 (2 tables + 10 figures)", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("F5"); !ok {
+		t.Error("F5 missing")
+	}
+	if _, ok := Lookup("F99"); ok {
+		t.Error("F99 found")
+	}
+}
+
+func TestTableIContent(t *testing.T) {
+	tab := TableI()
+	out := tab.Render()
+	for _, want := range []string{
+		"Godot", "Unity", "Unreal",
+		"Always Free", "C#, GDScript",
+		"Almost non-existent", "HTML5, Windows, Mac, *NIX",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	if len(tab.Rows) != 6 {
+		t.Errorf("Table I has %d rows, want 6", len(tab.Rows))
+	}
+}
+
+func TestTableIIContent(t *testing.T) {
+	tab := TableII()
+	out := tab.Render()
+	for _, want := range []string{
+		"MagicaVoxel", "Blender", "Maya",
+		"LEGO-like voxel building", "$1,875/yr",
+		"Paint-by-voxel", "Simple animations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("Table II has %d rows, want 5", len(tab.Rows))
+	}
+}
+
+func TestVoxelCapabilitiesAllVerified(t *testing.T) {
+	checks := VerifyVoxelCapabilities()
+	if len(checks) != 5 {
+		t.Fatalf("capability checks = %d, want 5 (one per Table II row)", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("capability %q failed: %s", c.Claim, c.Evidence)
+		}
+	}
+}
+
+func TestSummaryMentionsEveryArtifact(t *testing.T) {
+	summary, err := Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range All() {
+		if !strings.Contains(summary, f.ID) {
+			t.Errorf("summary missing %s", f.ID)
+		}
+	}
+	if !strings.Contains(summary, "25 modules") {
+		t.Errorf("summary missing module-library line:\n%s", summary)
+	}
+}
+
+func TestFig5ArtifactsIncludeScreenshot(t *testing.T) {
+	f, _ := Lookup("F5")
+	arts, _, err := f.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasPPM := false
+	for _, a := range arts {
+		if a.PPM != nil {
+			hasPPM = true
+			if !strings.HasPrefix(string(a.PPM[:2]), "P6") {
+				t.Error("PPM artifact is not a P6 image")
+			}
+		}
+	}
+	if !hasPPM {
+		t.Error("Fig 5 has no voxel screenshot")
+	}
+	if len(arts) != 4 {
+		t.Errorf("Fig 5 artifacts = %d, want 4", len(arts))
+	}
+}
+
+func TestFigureTextsCarryClassifierVerdicts(t *testing.T) {
+	f, _ := Lookup("F10")
+	arts, _, err := f.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arts {
+		if !strings.Contains(a.Text, "classifier:") || !strings.Contains(a.Text, "ok") {
+			t.Errorf("%s missing classifier verdict", a.Name)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package game
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// PalletLabelController is the Go port of the paper's "Pallet and
+// label controller" GDScript, attached to the controller node of
+// every level. The original's structure is preserved:
+//
+//	@export var y_axis / x_axis / pallets : Node3D
+//	@export var pallets_are_colored : bool = false
+//	@onready var level_data = $"../Data"
+//	@onready var pallet_array = pallets.get_children()
+//	func _ready(): flatten colors; set_labels()
+//	func set_labels(): assign axis label texts with mismatch checks
+//	func change_pallet_color(): toggle default/colored materials
+type PalletLabelController struct{}
+
+// Keys under which the controller stores its @onready state in the
+// node's Data map.
+const (
+	keyLevelData        = "level_data"
+	keyPalletArray      = "pallet_array"
+	keyPalletColorArray = "pallet_color_array"
+	keyLastError        = "last_error"
+)
+
+// Ready is _ready: resolve @onready references, flatten the color
+// matrix, and set the axis labels.
+func (PalletLabelController) Ready(n *engine.Node) {
+	levelData, err := n.GetNode("../Data")
+	if err != nil {
+		n.Data[keyLastError] = fmt.Sprintf("cannot resolve ../Data: %v", err)
+		return
+	}
+	n.Data[keyLevelData] = levelData
+
+	pallets := n.Props().GetNode("pallets")
+	if pallets == nil {
+		n.Data[keyLastError] = "export variable 'pallets' not assigned"
+		return
+	}
+	n.Data[keyPalletArray] = pallets.Children()
+
+	// for array in level_data.data["traffic_matrix_colors"]:
+	//     pallet_color_array += array
+	var flat []int
+	if colors, ok := levelData.Data["traffic_matrix_colors"].([][]int); ok {
+		for _, row := range colors {
+			flat = append(flat, row...)
+		}
+	}
+	n.Data[keyPalletColorArray] = flat
+
+	if err := SetLabels(n); err != nil {
+		n.Data[keyLastError] = err.Error()
+	}
+}
+
+// Process implements Behavior; the controller is event-driven and
+// does nothing per frame.
+func (PalletLabelController) Process(*engine.Node, float64) {}
+
+// SetLabels is set_labels: copy the module's axis label list onto
+// both axes' Label3D children. The two mismatch checks mirror the
+// original's printerr branches and surface as errors.
+func SetLabels(n *engine.Node) error {
+	yAxis := n.Props().GetNode("y_axis")
+	xAxis := n.Props().GetNode("x_axis")
+	levelData, _ := n.Data[keyLevelData].(*engine.Node)
+	if yAxis == nil || xAxis == nil || levelData == nil {
+		return fmt.Errorf("game: set_labels: axis or data references unresolved")
+	}
+	yLabels := yAxis.Children()
+	xLabels := xAxis.Children()
+	axisLabels, _ := levelData.Data["axis_labels"].([]string)
+	switch {
+	case len(yLabels) != len(xLabels):
+		// printerr("Number of y labels does not match number of x labels!")
+		return fmt.Errorf("game: number of y labels does not match number of x labels")
+	case len(axisLabels) != len(yLabels):
+		// printerr("Level data does not match number of labels!")
+		return fmt.Errorf("game: level data does not match number of labels")
+	}
+	c := 0
+	for _, label := range axisLabels {
+		if err := yLabels[c].MustChild(1).Props().Set("text", label); err != nil {
+			return err
+		}
+		if err := xLabels[c].MustChild(1).Props().Set("text", label); err != nil {
+			return err
+		}
+		c++
+	}
+	return nil
+}
+
+// ChangePalletColor is change_pallet_color: called whenever the
+// toggle-pallet-color button is clicked. When the pallets are
+// colored it resets every pallet mesh to the default material;
+// otherwise it assigns each pallet the material matching its color
+// code, with the black fallback for unknown codes.
+func ChangePalletColor(n *engine.Node) error {
+	colored := n.Props().GetBool("pallets_are_colored", false)
+	palletArray, _ := n.Data[keyPalletArray].([]*engine.Node)
+	colorArray, _ := n.Data[keyPalletColorArray].([]int)
+	if palletArray == nil {
+		return fmt.Errorf("game: change_pallet_color: controller not ready")
+	}
+	if len(colorArray) != len(palletArray) {
+		return fmt.Errorf("game: change_pallet_color: %d colors for %d pallets", len(colorArray), len(palletArray))
+	}
+	if colored {
+		// "Palets are colored! Making them default"
+		c := 0
+		for range colorArray {
+			mesh := palletArray[c].MustChild(0)
+			if err := mesh.Props().Set("material_override", MaterialDefault); err != nil {
+				return err
+			}
+			c++
+		}
+		return n.Props().Set("pallets_are_colored", false)
+	}
+	// "Palets are default! Making them colored"
+	c := 0
+	for _, color := range colorArray {
+		mesh := palletArray[c].MustChild(0)
+		if err := mesh.Props().Set("material_override", MaterialForCode(color)); err != nil {
+			return err
+		}
+		c++
+	}
+	return n.Props().Set("pallets_are_colored", true)
+}

@@ -1,0 +1,151 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/voxel"
+)
+
+// extendedModule returns a module using the full extended palette.
+func extendedModule() *core.Module {
+	return &core.Module{
+		Name:           "Extended Palette",
+		Size:           "3x3",
+		Author:         "T",
+		ExtendedColors: true,
+		AxisLabels:     []string{"A", "B", "C"},
+		TrafficMatrix: [][]int{
+			{1, 1, 1},
+			{1, 1, 1},
+			{1, 1, 1},
+		},
+		TrafficMatrixColors: [][]int{
+			{0, 1, 2},
+			{3, 4, 5},
+			{0, 0, 0},
+		},
+		HasQuestion: false,
+	}
+}
+
+// TestExtendedColorsReachTheScene: the controller's material swap
+// must paint green/yellow/purple pallets for codes 3–5.
+func TestExtendedColorsReachTheScene(t *testing.T) {
+	level, err := NewLevel(extendedModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := level.ToggleColors(); err != nil {
+		t.Fatal(err)
+	}
+	colors := level.sceneColorMatrix()
+	wants := map[[2]int]int{
+		{1, 0}: 3, {1, 1}: 4, {1, 2}: 5,
+	}
+	for pos, want := range wants {
+		if got := colors.At(pos[0], pos[1]); got != want {
+			t.Errorf("scene color at %v = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+// TestExtendedColorsRender: the 2D view paints distinct backgrounds
+// for all six codes.
+func TestExtendedColorsRender(t *testing.T) {
+	fb, err := RenderStatic(extendedModule(), false, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	palette := voxel.DefaultPalette()
+	found := map[uint8]bool{}
+	w, h := fb.Size()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := fb.At(x, y)
+			if !c.HasBG {
+				continue
+			}
+			for _, paint := range []uint8{voxel.PaintGreen, voxel.PaintYellow, voxel.PaintPurple} {
+				if c.BG == palette[paint] {
+					found[paint] = true
+				}
+			}
+		}
+	}
+	for _, paint := range []uint8{voxel.PaintGreen, voxel.PaintYellow, voxel.PaintPurple} {
+		if !found[paint] {
+			t.Errorf("extended paint %d missing from 2D render", paint)
+		}
+	}
+}
+
+// TestBlackFallbackStillBlack: a bad code on an extended module
+// renders black in the scene read-back and the 2D view, not a real
+// color.
+func TestBlackFallbackStillBlack(t *testing.T) {
+	m := extendedModule()
+	m.TrafficMatrixColors[2][2] = 77
+	level, err := NewLevel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := level.ToggleColors(); err != nil {
+		t.Fatal(err)
+	}
+	if got := level.sceneColorMatrix().At(2, 2); got != CodeBlack {
+		t.Errorf("bad code read back as %d, want CodeBlack", got)
+	}
+	fb, err := level.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the (2,2) cell background: it must be the black paint.
+	palette := voxel.DefaultPalette()
+	foundBlack := false
+	w, h := fb.Size()
+	for y := 0; y < h && !foundBlack; y++ {
+		for x := 0; x < w; x++ {
+			if c := fb.At(x, y); c.HasBG && c.BG == palette[voxel.PaintBlack] {
+				foundBlack = true
+				break
+			}
+		}
+	}
+	if !foundBlack {
+		t.Error("black fallback background missing from render")
+	}
+}
+
+// TestExtendedIso3D: the 3D view accepts extended codes through the
+// voxel material mapping.
+func TestExtendedIso3D(t *testing.T) {
+	m := extendedModule()
+	mat, err := m.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, err := m.Colors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := render.Iso3D(mat, render.Iso3DOptions{Colors: colors, ShowColors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	palette := voxel.DefaultPalette()
+	foundGreen := false
+	w, h := fb.Size()
+	for y := 0; y < h && !foundGreen; y++ {
+		for x := 0; x < w; x++ {
+			if c := fb.At(x, y); c.HasBG && c.BG == palette[voxel.PaintGreen] {
+				foundGreen = true
+				break
+			}
+		}
+	}
+	if !foundGreen {
+		t.Error("green pallet missing from 3D render")
+	}
+}

@@ -1,0 +1,182 @@
+package game
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Action is one player input.
+type Action int
+
+// The game's input vocabulary. The paper documents spacebar (2D/3D
+// toggle) and Q/E (rotation); the rest follows common keyboard
+// conventions.
+const (
+	ActionNone Action = iota
+	ActionUp
+	ActionDown
+	ActionLeft
+	ActionRight
+	ActionPlaceBox
+	ActionRemoveBox
+	ActionToggleView // spacebar
+	ActionRotateLeft // Q
+	ActionRotateRight
+	ActionToggleColors
+	ActionAnswer1
+	ActionAnswer2
+	ActionAnswer3
+	ActionNext
+	ActionFillAll
+	ActionQuit
+)
+
+// actionNames maps actions to the script words used by scripted
+// play.
+var actionNames = map[Action]string{
+	ActionNone:         "none",
+	ActionUp:           "up",
+	ActionDown:         "down",
+	ActionLeft:         "left",
+	ActionRight:        "right",
+	ActionPlaceBox:     "place",
+	ActionRemoveBox:    "remove",
+	ActionToggleView:   "view",
+	ActionRotateLeft:   "rotl",
+	ActionRotateRight:  "rotr",
+	ActionToggleColors: "colors",
+	ActionAnswer1:      "answer1",
+	ActionAnswer2:      "answer2",
+	ActionAnswer3:      "answer3",
+	ActionNext:         "next",
+	ActionFillAll:      "fill",
+	ActionQuit:         "quit",
+}
+
+// String returns the action's script word.
+func (a Action) String() string {
+	if s, ok := actionNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// ParseAction parses a script word (or single key) into an Action.
+func ParseAction(word string) (Action, error) {
+	w := strings.ToLower(strings.TrimSpace(word))
+	for a, name := range actionNames {
+		if w == name {
+			return a, nil
+		}
+	}
+	if len([]rune(w)) == 1 {
+		if a, ok := KeyAction([]rune(w)[0]); ok {
+			return a, nil
+		}
+	}
+	return ActionNone, fmt.Errorf("game: unknown action %q", word)
+}
+
+// KeyAction maps a keyboard rune to an action: WASD movement,
+// space for the 2D/3D toggle, Q/E rotation, C colors, P/X place and
+// remove, 1–3 answers, N next, F fill, Z quit.
+func KeyAction(r rune) (Action, bool) {
+	switch r {
+	case 'w', 'W', 'k':
+		return ActionUp, true
+	case 's', 'S', 'j':
+		return ActionDown, true
+	case 'a', 'A', 'h':
+		return ActionLeft, true
+	case 'd', 'D', 'l':
+		return ActionRight, true
+	case ' ':
+		return ActionToggleView, true
+	case 'q', 'Q':
+		return ActionRotateLeft, true
+	case 'e', 'E':
+		return ActionRotateRight, true
+	case 'c', 'C':
+		return ActionToggleColors, true
+	case 'p', 'P', '\r', '\n':
+		return ActionPlaceBox, true
+	case 'x', 'X':
+		return ActionRemoveBox, true
+	case '1':
+		return ActionAnswer1, true
+	case '2':
+		return ActionAnswer2, true
+	case '3':
+		return ActionAnswer3, true
+	case 'n', 'N':
+		return ActionNext, true
+	case 'f', 'F':
+		return ActionFillAll, true
+	case 'z', 'Z':
+		return ActionQuit, true
+	default:
+		return ActionNone, false
+	}
+}
+
+// Source yields player actions; ok=false means input is exhausted.
+type Source interface {
+	Next() (action Action, ok bool)
+}
+
+// ScriptSource replays a whitespace-separated action script: the
+// deterministic input channel tests and demos use. Words are parsed
+// by ParseAction; unknown words are an error at construction time.
+type ScriptSource struct {
+	actions []Action
+	pos     int
+}
+
+// NewScriptSource parses a script into a source.
+func NewScriptSource(script string) (*ScriptSource, error) {
+	var actions []Action
+	for _, w := range strings.Fields(script) {
+		a, err := ParseAction(w)
+		if err != nil {
+			return nil, err
+		}
+		actions = append(actions, a)
+	}
+	return &ScriptSource{actions: actions}, nil
+}
+
+// Next implements Source.
+func (s *ScriptSource) Next() (Action, bool) {
+	if s.pos >= len(s.actions) {
+		return ActionNone, false
+	}
+	a := s.actions[s.pos]
+	s.pos++
+	return a, true
+}
+
+// ReaderSource reads keys from an io.Reader (one action per rune,
+// skipping unmapped runes): the interactive terminal channel.
+type ReaderSource struct {
+	r *bufio.Reader
+}
+
+// NewReaderSource wraps a reader.
+func NewReaderSource(r io.Reader) *ReaderSource {
+	return &ReaderSource{r: bufio.NewReader(r)}
+}
+
+// Next implements Source, skipping runes with no mapping.
+func (s *ReaderSource) Next() (Action, bool) {
+	for {
+		r, _, err := s.r.ReadRune()
+		if err != nil {
+			return ActionNone, false
+		}
+		if a, ok := KeyAction(r); ok {
+			return a, true
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package game
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKeyActionMapping(t *testing.T) {
+	cases := map[rune]Action{
+		'w': ActionUp, 'W': ActionUp, 'k': ActionUp,
+		's': ActionDown, 'a': ActionLeft, 'd': ActionRight,
+		' ': ActionToggleView,
+		'q': ActionRotateLeft, 'e': ActionRotateRight,
+		'c': ActionToggleColors,
+		'p': ActionPlaceBox, '\n': ActionPlaceBox,
+		'x': ActionRemoveBox,
+		'1': ActionAnswer1, '2': ActionAnswer2, '3': ActionAnswer3,
+		'n': ActionNext, 'f': ActionFillAll, 'z': ActionQuit,
+	}
+	for r, want := range cases {
+		got, ok := KeyAction(r)
+		if !ok || got != want {
+			t.Errorf("KeyAction(%q) = %v,%v, want %v", r, got, ok, want)
+		}
+	}
+	if _, ok := KeyAction('~'); ok {
+		t.Error("unmapped rune accepted")
+	}
+}
+
+func TestParseAction(t *testing.T) {
+	a, err := ParseAction("place")
+	if err != nil || a != ActionPlaceBox {
+		t.Errorf("ParseAction(place) = %v, %v", a, err)
+	}
+	a, err = ParseAction("Q")
+	if err != nil || a != ActionRotateLeft {
+		t.Errorf("single-key parse = %v, %v", a, err)
+	}
+	if _, err := ParseAction("jump"); err == nil {
+		t.Error("unknown word accepted")
+	}
+}
+
+func TestActionStringRoundTrip(t *testing.T) {
+	for a := ActionNone; a <= ActionQuit; a++ {
+		back, err := ParseAction(a.String())
+		if err != nil || back != a {
+			t.Errorf("round trip %v → %q → %v (%v)", a, a.String(), back, err)
+		}
+	}
+	if Action(99).String() != "action(99)" {
+		t.Error("unknown action String")
+	}
+}
+
+func TestScriptSource(t *testing.T) {
+	src, err := NewScriptSource("up down  place\nview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Action
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, a)
+	}
+	want := []Action{ActionUp, ActionDown, ActionPlaceBox, ActionToggleView}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("action %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := NewScriptSource("up bogus"); err == nil {
+		t.Error("bad script accepted")
+	}
+}
+
+func TestReaderSource(t *testing.T) {
+	src := NewReaderSource(strings.NewReader("w?x"))
+	a, ok := src.Next()
+	if !ok || a != ActionUp {
+		t.Errorf("first = %v", a)
+	}
+	// '?' is unmapped and skipped.
+	a, ok = src.Next()
+	if !ok || a != ActionRemoveBox {
+		t.Errorf("second = %v", a)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("EOF not signalled")
+	}
+}
+
+func TestBannerNonEmpty(t *testing.T) {
+	if !strings.Contains(Banner(), "TRAFFIC WAREHOUSE") {
+		t.Error("banner missing title")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	names := map[Phase]string{
+		PhasePlaying: "playing", PhaseQuestion: "question",
+		PhaseModuleDone: "module done", PhaseLessonDone: "lesson done",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package game
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/render"
+)
+
+// Level is one playable learning module: the engine scene plus the
+// player's progress loading boxes (packets) onto pallets. The level
+// renders through the scene — labels and pallet colors are read back
+// from the nodes the controller script wrote, so the engine path is
+// load-bearing, not decorative.
+type Level struct {
+	module *core.Module
+	tree   *engine.SceneTree
+	n      int
+
+	target *matrix.Dense
+	placed *matrix.Dense
+
+	cursorRow, cursorCol int
+	mode3D               bool
+	rotation             render.Rotation
+}
+
+// NewLevel builds and starts the scene for a module.
+func NewLevel(m *core.Module) (*Level, error) {
+	root, err := BuildLevelScene(m)
+	if err != nil {
+		return nil, err
+	}
+	tree := engine.NewSceneTree(root)
+	tree.Start()
+	controller := root.MustGetNode(NodeController)
+	if msg, bad := controller.Data[keyLastError].(string); bad {
+		return nil, fmt.Errorf("game: controller failed to initialize: %s", msg)
+	}
+	n, err := m.Dim()
+	if err != nil {
+		return nil, err
+	}
+	target, err := m.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	return &Level{
+		module: m,
+		tree:   tree,
+		n:      n,
+		target: target,
+		placed: matrix.NewSquare(n),
+	}, nil
+}
+
+// Module returns the level's learning module.
+func (l *Level) Module() *core.Module { return l.module }
+
+// Scene returns the level's scene tree.
+func (l *Level) Scene() *engine.SceneTree { return l.tree }
+
+// Size returns the matrix dimension.
+func (l *Level) Size() int { return l.n }
+
+// Cursor returns the selected cell.
+func (l *Level) Cursor() (row, col int) { return l.cursorRow, l.cursorCol }
+
+// Mode3D reports whether the 3D view is active.
+func (l *Level) Mode3D() bool { return l.mode3D }
+
+// Rotation returns the 3D view rotation.
+func (l *Level) Rotation() render.Rotation { return l.rotation }
+
+// Target returns the module's traffic matrix (the shipping
+// manifest).
+func (l *Level) Target() *matrix.Dense { return l.target.Clone() }
+
+// Placed returns the player's progress matrix.
+func (l *Level) Placed() *matrix.Dense { return l.placed.Clone() }
+
+// MoveCursor moves the selection by (dRow,dCol), clamped to the
+// grid.
+func (l *Level) MoveCursor(dRow, dCol int) {
+	l.cursorRow = clamp(l.cursorRow+dRow, 0, l.n-1)
+	l.cursorCol = clamp(l.cursorCol+dCol, 0, l.n-1)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PlaceBox loads one box onto the selected pallet. It refuses to
+// exceed the manifest ("the pallet is full") so a completed level is
+// exactly the module's matrix. The box also becomes a node under
+// Boxes, keeping the scene authoritative.
+func (l *Level) PlaceBox() error {
+	i, j := l.cursorRow, l.cursorCol
+	have, want := l.placed.At(i, j), l.target.At(i, j)
+	if have >= want {
+		if want == 0 {
+			return fmt.Errorf("game: no packets ship from %s to %s in this lesson", l.labelFor(i), l.labelFor(j))
+		}
+		return fmt.Errorf("game: pallet (%s→%s) already has all %d boxes", l.labelFor(i), l.labelFor(j), want)
+	}
+	l.placed.Add(i, j, 1)
+	boxes := l.tree.Root().MustGetNode(NodeBoxes)
+	boxes.AddChild(engine.NewNode("MeshInstance3D", fmt.Sprintf("Box_%d_%d_%d", i, j, have+1)))
+	return nil
+}
+
+// RemoveBox takes one box off the selected pallet.
+func (l *Level) RemoveBox() error {
+	i, j := l.cursorRow, l.cursorCol
+	have := l.placed.At(i, j)
+	if have == 0 {
+		return fmt.Errorf("game: pallet (%s→%s) is empty", l.labelFor(i), l.labelFor(j))
+	}
+	boxes := l.tree.Root().MustGetNode(NodeBoxes)
+	name := fmt.Sprintf("Box_%d_%d_%d", i, j, have)
+	if node := boxes.FindByName(name); node != nil {
+		boxes.RemoveChild(node)
+	}
+	l.placed.Add(i, j, -1)
+	return nil
+}
+
+// FillAll places every remaining box: the presenter shortcut that
+// produces Fig 5c's "packets are all placed" state.
+func (l *Level) FillAll() {
+	for i := 0; i < l.n; i++ {
+		for j := 0; j < l.n; j++ {
+			for l.placed.At(i, j) < l.target.At(i, j) {
+				l.cursorRow, l.cursorCol = i, j
+				if err := l.PlaceBox(); err != nil {
+					return // unreachable: bounded by target
+				}
+			}
+		}
+	}
+}
+
+// Complete reports whether every packet has been placed.
+func (l *Level) Complete() bool { return l.placed.Equal(l.target) }
+
+// Remaining returns the number of boxes still to place.
+func (l *Level) Remaining() int { return l.target.Sum() - l.placed.Sum() }
+
+// ToggleView switches between the 2D and 3D views (spacebar).
+func (l *Level) ToggleView() {
+	l.mode3D = !l.mode3D
+	camera := l.tree.Root().MustGetNode(NodeCamera)
+	_ = camera.Props().Set("mode_3d", l.mode3D)
+}
+
+// RotateLeft turns the 3D view a quarter-turn counter-clockwise
+// (Q); RotateRight clockwise (E). Rotation also applies in 2D mode
+// so the student can pre-orient, matching the game.
+func (l *Level) RotateLeft()  { l.setRotation(l.rotation.Left()) }
+func (l *Level) RotateRight() { l.setRotation(l.rotation.Right()) }
+
+func (l *Level) setRotation(r render.Rotation) {
+	l.rotation = r
+	camera := l.tree.Root().MustGetNode(NodeCamera)
+	_ = camera.Props().Set("rotation_steps", int(r.Normalize()))
+}
+
+// ColorsOn reports whether pallets are currently colored, read from
+// the controller's exported toggle.
+func (l *Level) ColorsOn() bool {
+	controller := l.tree.Root().MustGetNode(NodeController)
+	return controller.Props().GetBool("pallets_are_colored", false)
+}
+
+// ToggleColors clicks the toggle-pallet-color button.
+func (l *Level) ToggleColors() error {
+	controller := l.tree.Root().MustGetNode(NodeController)
+	return ChangePalletColor(controller)
+}
+
+// labelFor returns the axis label for index i, read back from the
+// scene's Y axis.
+func (l *Level) labelFor(i int) string {
+	yAxis := l.tree.Root().MustGetNode(NodeYAxis)
+	texts := AxisLabelTexts(yAxis)
+	if i >= 0 && i < len(texts) && texts[i] != "" {
+		return texts[i]
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// sceneColorMatrix reconstructs the color matrix from the pallets'
+// current material_override properties: what the scene is actually
+// showing, not what the module file says.
+func (l *Level) sceneColorMatrix() *matrix.Dense {
+	pallets := l.tree.Root().MustGetNode(NodePallets)
+	colors := matrix.NewSquare(l.n)
+	for idx, pallet := range pallets.Children() {
+		material := pallet.MustChild(0).Props().GetString("material_override", MaterialDefault)
+		colors.Set(idx/l.n, idx%l.n, CodeForMaterial(material))
+	}
+	return colors
+}
+
+// Render draws the level's current view. The 2D view shows
+// placed/target per cell; the 3D view stacks placed boxes on the
+// warehouse floor.
+func (l *Level) Render() (*render.Framebuffer, error) {
+	labels := AxisLabelTexts(l.tree.Root().MustGetNode(NodeYAxis))
+	showColors := l.ColorsOn()
+	var colors *matrix.Dense
+	if showColors {
+		colors = l.sceneColorMatrix()
+	}
+	title := fmt.Sprintf("%s — %d boxes to place", l.module.Name, l.Remaining())
+	if l.Complete() {
+		title = fmt.Sprintf("%s — all packets placed!", l.module.Name)
+	}
+	if l.mode3D {
+		return render.Iso3D(l.target, render.Iso3DOptions{
+			Labels:     labels,
+			Colors:     colors,
+			ShowColors: showColors,
+			Placed:     l.placed,
+			Rotation:   l.rotation,
+			Title:      title + "  [3D " + l.rotation.String() + "]",
+		})
+	}
+	return render.Matrix2D(l.target, render.Matrix2DOptions{
+		Labels:     labels,
+		Colors:     colors,
+		ShowColors: showColors,
+		Placed:     l.placed,
+		CursorRow:  l.cursorRow,
+		CursorCol:  l.cursorCol,
+		HasCursor:  true,
+		Title:      title + "  [2D]",
+	})
+}
+
+// RenderStatic draws a module's matrix without play state: the view
+// used by module previews and figure regeneration. showColors paints
+// the module's color matrix.
+func RenderStatic(m *core.Module, mode3D bool, rotation render.Rotation, showColors bool) (*render.Framebuffer, error) {
+	mat, err := m.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	var colors *matrix.Dense
+	if showColors {
+		colors, err = m.Colors()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if mode3D {
+		return render.Iso3D(mat, render.Iso3DOptions{
+			Labels:     m.AxisLabels,
+			Colors:     colors,
+			ShowColors: showColors,
+			Rotation:   rotation,
+			Title:      m.Name + "  [3D " + rotation.String() + "]",
+		})
+	}
+	return render.Matrix2D(mat, render.Matrix2DOptions{
+		Labels:     m.AxisLabels,
+		Colors:     colors,
+		ShowColors: showColors,
+		Title:      m.Name + "  [2D]",
+	})
+}

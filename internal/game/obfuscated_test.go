@@ -1,0 +1,42 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestObfuscatedModulePlays: a lesson whose answers are stored as
+// salted digests (the paper's future-work obfuscation) must play and
+// grade identically to its plain twin.
+func TestObfuscatedModulePlays(t *testing.T) {
+	plain := core.MustTemplate(10)
+	hidden := plain.Clone()
+	hidden.AnswerSalt = "fixed-test-salt"
+	if err := hidden.ObfuscateAnswer(); err != nil {
+		t.Fatal(err)
+	}
+
+	play := func(m *core.Module) float64 {
+		g, err := New(&core.Lesson{Name: "t", Modules: []*core.Module{m}}, "s", rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Update(ActionFillAll)
+		for g.Phase() == PhasePlaying {
+			g.Update(ActionNext)
+		}
+		q, ok := g.Question()
+		if !ok {
+			t.Fatal("no question")
+		}
+		g.Update([]Action{ActionAnswer1, ActionAnswer2, ActionAnswer3}[q.CorrectOption])
+		g.Update(ActionNext)
+		return g.Session().Score()
+	}
+
+	if plainScore, hiddenScore := play(plain), play(hidden); plainScore != 1.0 || hiddenScore != 1.0 {
+		t.Errorf("scores: plain=%f obfuscated=%f, want 1.0 both", plainScore, hiddenScore)
+	}
+}

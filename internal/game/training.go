@@ -1,0 +1,82 @@
+package game
+
+import "repro/internal/core"
+
+// The built-in training level (Fig 5): "This module walks the player
+// through what a traffic matrix is, how to read one, how it is of
+// value to them, and how it will be represented in the game
+// environment. The training module also provides a space for the
+// player to learn the controls of the game without needing to load
+// in a learning module."
+
+// TrainingModuleName identifies the built-in training module.
+const TrainingModuleName = "Traffic Matrix Training"
+
+// TrainingModule returns the built-in training module: a small
+// 6×6 network whose anti-diagonal mirrors the template exercise,
+// with the introductory question the walkthrough builds toward.
+func TrainingModule() *core.Module {
+	return &core.Module{
+		Name:   TrainingModuleName,
+		Size:   "6x6",
+		Author: "Traffic Warehouse",
+		Hint:   "A traffic matrix entry A(i,j)=v means source i sent v packets to destination j.",
+		AxisLabels: []string{
+			"WS1", "WS2", "SRV1", "EXT1", "ADV1", "ADV2",
+		},
+		TrafficMatrix: [][]int{
+			{1, 0, 2, 0, 0, 1},
+			{0, 1, 2, 0, 0, 0},
+			{1, 1, 0, 2, 0, 0},
+			{0, 0, 2, 0, 0, 0},
+			{0, 0, 3, 0, 0, 1},
+			{0, 0, 0, 0, 1, 0},
+		},
+		TrafficMatrixColors: [][]int{
+			{1, 1, 1, 0, 2, 2},
+			{1, 1, 1, 0, 2, 2},
+			{1, 1, 1, 0, 2, 2},
+			{0, 0, 0, 0, 0, 0},
+			{2, 2, 2, 0, 0, 0},
+			{2, 2, 2, 0, 0, 0},
+		},
+		HasQuestion: true,
+		Question:    "How many packets did ADV1 send to SRV1?",
+		Answers:     []string{"1", "2", "3"},
+		// ADV1 (row 4) sends 3 packets to SRV1 (column 2).
+		CorrectAnswerElement: 2,
+	}
+}
+
+// TrainingSteps is the guided walkthrough text shown alongside the
+// training level, one step per screen. The player advances with
+// ActionNext; each step teaches one concept or control from the
+// paper's description of the level.
+var TrainingSteps = []string{
+	"Welcome to Traffic Warehouse! A network traffic matrix records\n" +
+		"who talks to whom: the entry at row i, column j counts the\n" +
+		"packets source i sent to destination j.",
+	"This warehouse floor IS the matrix. Every pallet is one\n" +
+		"source/destination pair, and every box on a pallet is one\n" +
+		"packet to be shipped.",
+	"Read the axes: rows are sources, columns are destinations.\n" +
+		"WS are your workstations, SRV your server, EXT external\n" +
+		"hosts, and ADV adversaries.",
+	"Move the cursor with W/A/S/D and place a box with P (remove\n" +
+		"with X). The manifest shows placed/target for each pallet —\n" +
+		"fill every pallet to match the lesson's matrix.",
+	"Press SPACE to step into the 3D warehouse and back; rotate the\n" +
+		"view with Q and E. Network defenders read these shapes at a\n" +
+		"glance — that intuition is what you are here to build.",
+	"Press C to toggle pallet colors: blue is your own network, red\n" +
+		"is adversary space, grey is neutral. Colors turn a matrix\n" +
+		"into a map of trust boundaries.",
+	"That's the training. Place all the boxes to complete the\n" +
+		"level, then answer the question. Good luck!",
+}
+
+// TrainingLesson wraps the training module as a single-module
+// lesson.
+func TrainingLesson() *core.Lesson {
+	return &core.Lesson{Name: "training", Modules: []*core.Module{TrainingModule()}}
+}

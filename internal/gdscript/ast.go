@@ -1,0 +1,223 @@
+package gdscript
+
+// AST node types for the supported GDScript subset. Type
+// annotations (": Node3D") are parsed and recorded but not enforced
+// beyond the engine bridge's own checks, matching GDScript's
+// gradual typing.
+
+// Script is a parsed file: an optional extends clause, ordered
+// variable declarations, and functions.
+type Script struct {
+	// Extends records the base class name ("Node3D"); informational.
+	Extends string
+	// Vars are the script-level variable declarations in order.
+	Vars []*VarDecl
+	// Funcs maps function names to declarations.
+	Funcs map[string]*FuncDecl
+	// FuncOrder preserves declaration order for listings.
+	FuncOrder []string
+}
+
+// VarDecl is a script-level or local variable declaration.
+type VarDecl struct {
+	// Name is the variable name.
+	Name string
+	// Type is the annotation text, "" when absent.
+	Type string
+	// Init is the initializer, nil when absent.
+	Init Expr
+	// Export marks @export variables (backed by node props).
+	Export bool
+	// OnReady marks @onready variables (initialized at _ready).
+	OnReady bool
+	// Const marks const declarations.
+	Const bool
+	// Line is the source line.
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	// Name is the function name.
+	Name string
+	// Params are the parameter names.
+	Params []string
+	// Body is the statement block.
+	Body []Stmt
+	// Line is the source line.
+	Line int
+}
+
+// Stmt is any statement.
+type Stmt interface{ stmtNode() }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// AssignStmt assigns Value to Target with operator "=", "+=", "-=",
+// "*=", or "/=".
+type AssignStmt struct {
+	Target Expr
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// LocalVarStmt declares a local variable.
+type LocalVarStmt struct {
+	Decl *VarDecl
+}
+
+// IfStmt is an if/elif/else chain; Elifs pair conditions with
+// bodies.
+type IfStmt struct {
+	Cond  Expr
+	Body  []Stmt
+	Elifs []struct {
+		Cond Expr
+		Body []Stmt
+	}
+	Else []Stmt
+	Line int
+}
+
+// ForStmt iterates a sequence.
+type ForStmt struct {
+	Var  string
+	Seq  Expr
+	Body []Stmt
+	Line int
+}
+
+// WhileStmt loops while the condition holds.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// MatchStmt compares a subject against case patterns in order; "_"
+// is the wildcard.
+type MatchStmt struct {
+	Subject Expr
+	Cases   []MatchCase
+	Line    int
+}
+
+// MatchCase is one pattern and its body. Wildcard marks "_".
+type MatchCase struct {
+	Pattern  Expr
+	Wildcard bool
+	Body     []Stmt
+}
+
+// ReturnStmt returns from a function; Value may be nil.
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// PassStmt does nothing.
+type PassStmt struct{ Line int }
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt skips to the next loop iteration.
+type ContinueStmt struct{ Line int }
+
+func (*ExprStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*LocalVarStmt) stmtNode() {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*MatchStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*PassStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is any expression.
+type Expr interface{ exprNode() }
+
+// Literal is a constant: int64, float64, string, bool, or nil.
+type Literal struct {
+	Value any
+	Line  int
+}
+
+// Ident references a variable or function name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// NodePathExpr is $"path" sugar.
+type NodePathExpr struct {
+	Path string
+	Line int
+}
+
+// ArrayLit is [a, b, c].
+type ArrayLit struct {
+	Items []Expr
+	Line  int
+}
+
+// DictLit is {"k": v, …}.
+type DictLit struct {
+	Keys   []Expr
+	Values []Expr
+	Line   int
+}
+
+// AttrExpr is X.Name.
+type AttrExpr struct {
+	X    Expr
+	Name string
+	Line int
+}
+
+// IndexExpr is X[Index].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Line  int
+}
+
+// CallExpr is Fn(Args...); Fn is an Ident (function or builtin) or
+// AttrExpr (method).
+type CallExpr struct {
+	Fn   Expr
+	Args []Expr
+	Line int
+}
+
+// BinaryExpr applies Op to X and Y.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// UnaryExpr applies Op ("-" or "not") to X.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*Literal) exprNode()      {}
+func (*Ident) exprNode()        {}
+func (*NodePathExpr) exprNode() {}
+func (*ArrayLit) exprNode()     {}
+func (*DictLit) exprNode()      {}
+func (*AttrExpr) exprNode()     {}
+func (*IndexExpr) exprNode()    {}
+func (*CallExpr) exprNode()     {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}

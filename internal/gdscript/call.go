@@ -1,0 +1,406 @@
+package gdscript
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// evalCall dispatches calls: script functions, builtins, and
+// methods on nodes, arrays, dictionaries, and strings.
+func (in *Instance) evalCall(call *CallExpr, sc *scope) (Value, error) {
+	args := make([]Value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := in.eval(a, sc)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch fn := call.Fn.(type) {
+	case *Ident:
+		// Script function first, then builtin.
+		if _, ok := in.script.Funcs[fn.Name]; ok {
+			return in.Call(fn.Name, args...)
+		}
+		return in.callBuiltin(fn.Name, args, call.Line)
+	case *AttrExpr:
+		obj, err := in.eval(fn.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return in.callMethod(obj, fn.Name, args, call.Line)
+	default:
+		return nil, fmt.Errorf("gdscript: line %d: expression is not callable", call.Line)
+	}
+}
+
+// callBuiltin implements the global builtin functions the paper's
+// scripts use (plus a few general-purpose ones).
+func (in *Instance) callBuiltin(name string, args []Value, line int) (Value, error) {
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("gdscript: line %d: %s takes %d args, got %d", line, name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "print":
+		for _, a := range args {
+			in.Stdout.WriteString(Str(a))
+		}
+		in.Stdout.WriteByte('\n')
+		return nil, nil
+	case "printerr", "push_error":
+		for _, a := range args {
+			in.Stderr.WriteString(Str(a))
+		}
+		in.Stderr.WriteByte('\n')
+		return nil, nil
+	case "str":
+		var out string
+		for _, a := range args {
+			out += Str(a)
+		}
+		return out, nil
+	case "len":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case *Array:
+			return int64(len(v.Items)), nil
+		case *Dict:
+			return int64(v.Len()), nil
+		case string:
+			return int64(len([]rune(v))), nil
+		default:
+			return nil, fmt.Errorf("gdscript: line %d: len() of %s", line, TypeName(args[0]))
+		}
+	case "int":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case int64:
+			return v, nil
+		case float64:
+			return int64(v), nil
+		case bool:
+			if v {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		case string:
+			var n int64
+			if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+				return int64(0), nil
+			}
+			return n, nil
+		default:
+			return nil, fmt.Errorf("gdscript: line %d: int() of %s", line, TypeName(args[0]))
+		}
+	case "float":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		if f, ok := toFloat(args[0]); ok {
+			return f, nil
+		}
+		return nil, fmt.Errorf("gdscript: line %d: float() of %s", line, TypeName(args[0]))
+	case "abs":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case int64:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		case float64:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		}
+		return nil, fmt.Errorf("gdscript: line %d: abs() of %s", line, TypeName(args[0]))
+	case "min", "max":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("gdscript: line %d: %s needs ≥2 args", line, name)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			cmp, err := binaryOp("<", a, best, line)
+			if err != nil {
+				return nil, err
+			}
+			less := cmp.(bool)
+			if (name == "min" && less) || (name == "max" && !less) {
+				best = a
+			}
+		}
+		return best, nil
+	case "range":
+		var start, stop, step int64 = 0, 0, 1
+		switch len(args) {
+		case 1:
+			stop, _ = args[0].(int64)
+		case 2:
+			start, _ = args[0].(int64)
+			stop, _ = args[1].(int64)
+		case 3:
+			start, _ = args[0].(int64)
+			stop, _ = args[1].(int64)
+			step, _ = args[2].(int64)
+			if step == 0 {
+				return nil, fmt.Errorf("gdscript: line %d: range() step cannot be 0", line)
+			}
+		default:
+			return nil, fmt.Errorf("gdscript: line %d: range() takes 1-3 args", line)
+		}
+		arr := &Array{}
+		if step > 0 {
+			for i := start; i < stop; i += step {
+				arr.Items = append(arr.Items, i)
+			}
+		} else {
+			for i := start; i > stop; i += step {
+				arr.Items = append(arr.Items, i)
+			}
+		}
+		return arr, nil
+	case "preload", "load":
+		// Resources are identified by their path strings in this
+		// engine; preload is the identity on the path.
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		path, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: preload() needs a path string", line)
+		}
+		return path, nil
+	case "get_node":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		if in.node == nil {
+			return nil, fmt.Errorf("gdscript: line %d: get_node outside a scene", line)
+		}
+		return in.callMethod(&NodeRef{Node: in.node}, "get_node", args, line)
+	default:
+		return nil, fmt.Errorf("gdscript: line %d: unknown function %q", line, name)
+	}
+}
+
+// callMethod implements methods on nodes and containers.
+func (in *Instance) callMethod(obj Value, name string, args []Value, line int) (Value, error) {
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("gdscript: line %d: %s takes %d args, got %d", line, name, n, len(args))
+		}
+		return nil
+	}
+	switch o := obj.(type) {
+	case *NodeRef:
+		return in.callNodeMethod(o.Node, name, args, line, arity)
+	case *Array:
+		switch name {
+		case "append", "push_back":
+			if err := arity(1); err != nil {
+				return nil, err
+			}
+			o.Items = append(o.Items, args[0])
+			return nil, nil
+		case "size":
+			if err := arity(0); err != nil {
+				return nil, err
+			}
+			return int64(len(o.Items)), nil
+		case "clear":
+			if err := arity(0); err != nil {
+				return nil, err
+			}
+			o.Items = nil
+			return nil, nil
+		case "has":
+			if err := arity(1); err != nil {
+				return nil, err
+			}
+			for _, item := range o.Items {
+				if Equal(item, args[0]) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+	case *Dict:
+		switch name {
+		case "keys":
+			if err := arity(0); err != nil {
+				return nil, err
+			}
+			arr := &Array{}
+			for _, k := range o.Keys() {
+				arr.Items = append(arr.Items, k)
+			}
+			return arr, nil
+		case "has":
+			if err := arity(1); err != nil {
+				return nil, err
+			}
+			k, ok := args[0].(string)
+			if !ok {
+				return false, nil
+			}
+			_, found := o.Get(k)
+			return found, nil
+		case "size":
+			if err := arity(0); err != nil {
+				return nil, err
+			}
+			return int64(o.Len()), nil
+		}
+	case string:
+		switch name {
+		case "length":
+			if err := arity(0); err != nil {
+				return nil, err
+			}
+			return int64(len([]rune(o))), nil
+		case "to_upper":
+			if err := arity(0); err != nil {
+				return nil, err
+			}
+			return toUpper(o), nil
+		}
+	}
+	return nil, fmt.Errorf("gdscript: line %d: %s has no method %q", line, TypeName(obj), name)
+}
+
+// toUpper uppercases ASCII letters (axis labels are ASCII).
+func toUpper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// callNodeMethod implements the engine bridge methods.
+func (in *Instance) callNodeMethod(node *engine.Node, name string, args []Value, line int, arity func(int) error) (Value, error) {
+	switch name {
+	case "get_children":
+		if err := arity(0); err != nil {
+			return nil, err
+		}
+		arr := &Array{}
+		for _, c := range node.Children() {
+			arr.Items = append(arr.Items, &NodeRef{Node: c})
+		}
+		return arr, nil
+	case "get_child":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		i, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: get_child index must be int", line)
+		}
+		c, err := node.Child(int(i))
+		if err != nil {
+			return nil, fmt.Errorf("gdscript: line %d: %w", line, err)
+		}
+		return &NodeRef{Node: c}, nil
+	case "get_child_count":
+		if err := arity(0); err != nil {
+			return nil, err
+		}
+		return int64(node.ChildCount()), nil
+	case "get_node":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		path, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: get_node needs a path string", line)
+		}
+		target, err := node.GetNode(path)
+		if err != nil {
+			return nil, fmt.Errorf("gdscript: line %d: %w", line, err)
+		}
+		return &NodeRef{Node: target}, nil
+	case "get_parent":
+		if err := arity(0); err != nil {
+			return nil, err
+		}
+		if node.Parent() == nil {
+			return nil, nil
+		}
+		return &NodeRef{Node: node.Parent()}, nil
+	case "get_name":
+		if err := arity(0); err != nil {
+			return nil, err
+		}
+		return node.Name(), nil
+	case "add_to_group":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		g, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: add_to_group needs a string", line)
+		}
+		node.AddToGroup(g)
+		return nil, nil
+	case "is_in_group":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		g, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: is_in_group needs a string", line)
+		}
+		return node.IsInGroup(g), nil
+	case "emit_signal":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("gdscript: line %d: emit_signal needs a signal name", line)
+		}
+		sig, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: emit_signal needs a string", line)
+		}
+		goArgs := make([]any, 0, len(args)-1)
+		for _, a := range args[1:] {
+			goArgs = append(goArgs, ToGo(a))
+		}
+		return int64(node.Emit(sig, goArgs...)), nil
+	case "get":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		prop, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: get needs a property name", line)
+		}
+		v, _ := node.Props().Get(prop)
+		return FromGo(v), nil
+	case "set":
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		prop, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: set needs a property name", line)
+		}
+		if err := node.Props().Set(prop, ToGo(args[1])); err != nil {
+			return nil, fmt.Errorf("gdscript: line %d: %w", line, err)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("gdscript: line %d: node has no method %q", line, name)
+	}
+}

@@ -1,0 +1,337 @@
+package gdscript
+
+import (
+	"fmt"
+	"strings"
+)
+
+// eval computes an expression's value.
+func (in *Instance) eval(e Expr, sc *scope) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, nil
+	case *Ident:
+		return in.lookupName(x.Name, sc, x.Line)
+	case *NodePathExpr:
+		if in.node == nil {
+			return nil, fmt.Errorf("gdscript: line %d: $%q outside a scene", x.Line, x.Path)
+		}
+		node, err := in.node.GetNode(x.Path)
+		if err != nil {
+			return nil, fmt.Errorf("gdscript: line %d: %w", x.Line, err)
+		}
+		return &NodeRef{Node: node}, nil
+	case *ArrayLit:
+		arr := &Array{}
+		for _, item := range x.Items {
+			v, err := in.eval(item, sc)
+			if err != nil {
+				return nil, err
+			}
+			arr.Items = append(arr.Items, v)
+		}
+		return arr, nil
+	case *DictLit:
+		d := NewDict()
+		for i := range x.Keys {
+			k, err := in.eval(x.Keys[i], sc)
+			if err != nil {
+				return nil, err
+			}
+			key, ok := k.(string)
+			if !ok {
+				return nil, fmt.Errorf("gdscript: line %d: dictionary key must be String, got %s", x.Line, TypeName(k))
+			}
+			v, err := in.eval(x.Values[i], sc)
+			if err != nil {
+				return nil, err
+			}
+			d.Set(key, v)
+		}
+		return d, nil
+	case *AttrExpr:
+		obj, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return in.getAttr(obj, x.Name, x.Line)
+	case *IndexExpr:
+		obj, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(x.Index, sc)
+		if err != nil {
+			return nil, err
+		}
+		return getIndex(obj, idx, x.Line)
+	case *CallExpr:
+		return in.evalCall(x, sc)
+	case *BinaryExpr:
+		// Short-circuit and/or.
+		if x.Op == "and" || x.Op == "or" {
+			left, err := in.eval(x.X, sc)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "and" && !Truthy(left) {
+				return false, nil
+			}
+			if x.Op == "or" && Truthy(left) {
+				return true, nil
+			}
+			right, err := in.eval(x.Y, sc)
+			if err != nil {
+				return nil, err
+			}
+			return Truthy(right), nil
+		}
+		left, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		right, err := in.eval(x.Y, sc)
+		if err != nil {
+			return nil, err
+		}
+		return binaryOp(x.Op, left, right, x.Line)
+	case *UnaryExpr:
+		v, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, fmt.Errorf("gdscript: line %d: cannot negate %s", x.Line, TypeName(v))
+		case "not":
+			return !Truthy(v), nil
+		}
+		return nil, fmt.Errorf("gdscript: line %d: unknown unary %q", x.Line, x.Op)
+	default:
+		return nil, fmt.Errorf("gdscript: unknown expression %T", e)
+	}
+}
+
+// lookupName resolves an identifier: locals, export props, globals.
+// (Function references are handled at call sites.)
+func (in *Instance) lookupName(name string, sc *scope, line int) (Value, error) {
+	if sc != nil {
+		if v, ok := sc.lookup(name); ok {
+			return v, nil
+		}
+	}
+	if in.exports[name] && in.node != nil {
+		v, _ := in.node.Props().Get(name)
+		return FromGo(v), nil
+	}
+	if v, ok := in.globals[name]; ok {
+		return v, nil
+	}
+	if name == "self" && in.node != nil {
+		return &NodeRef{Node: in.node}, nil
+	}
+	return nil, fmt.Errorf("gdscript: line %d: undefined identifier %q", line, name)
+}
+
+// getAttr reads obj.name: node properties/data, container pseudo
+// attributes.
+func (in *Instance) getAttr(obj Value, name string, line int) (Value, error) {
+	switch o := obj.(type) {
+	case *NodeRef:
+		if name == "name" {
+			return o.Node.Name(), nil
+		}
+		if o.Node.Props().Has(name) {
+			v, _ := o.Node.Props().Get(name)
+			return FromGo(v), nil
+		}
+		if v, ok := o.Node.Data[name]; ok {
+			return FromGo(v), nil
+		}
+		// Reading the whole Data map as ".data" mirrors the paper's
+		// level_data.data dictionary access.
+		if name == "data" {
+			return FromGo(o.Node.Data), nil
+		}
+		return nil, fmt.Errorf("gdscript: line %d: node %q has no property %q", line, o.Node.Name(), name)
+	case *Dict:
+		if v, ok := o.Get(name); ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("gdscript: line %d: dictionary has no key %q", line, name)
+	default:
+		return nil, fmt.Errorf("gdscript: line %d: %s has no attribute %q", line, TypeName(obj), name)
+	}
+}
+
+// getIndex reads obj[idx].
+func getIndex(obj, idx Value, line int) (Value, error) {
+	switch o := obj.(type) {
+	case *Array:
+		i, ok := idx.(int64)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: array index must be int, got %s", line, TypeName(idx))
+		}
+		if i < 0 || int(i) >= len(o.Items) {
+			return nil, fmt.Errorf("gdscript: line %d: array index %d out of range %d", line, i, len(o.Items))
+		}
+		return o.Items[i], nil
+	case *Dict:
+		k, ok := idx.(string)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: dictionary key must be String, got %s", line, TypeName(idx))
+		}
+		v, found := o.Get(k)
+		if !found {
+			return nil, fmt.Errorf("gdscript: line %d: missing dictionary key %q", line, k)
+		}
+		return v, nil
+	case string:
+		i, ok := idx.(int64)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: string index must be int", line)
+		}
+		runes := []rune(o)
+		if i < 0 || int(i) >= len(runes) {
+			return nil, fmt.Errorf("gdscript: line %d: string index %d out of range %d", line, i, len(runes))
+		}
+		return string(runes[i]), nil
+	default:
+		return nil, fmt.Errorf("gdscript: line %d: cannot index %s", line, TypeName(obj))
+	}
+}
+
+// binaryOp implements arithmetic, comparison, and concatenation with
+// GDScript's int/float coercion. "+" concatenates strings and
+// arrays (the paper's script concatenates rows into
+// pallet_color_array with +=).
+func binaryOp(op string, a, b Value, line int) (Value, error) {
+	switch op {
+	case "==":
+		return Equal(a, b), nil
+	case "!=":
+		return !Equal(a, b), nil
+	case "in":
+		switch container := b.(type) {
+		case *Array:
+			for _, item := range container.Items {
+				if Equal(item, a) {
+					return true, nil
+				}
+			}
+			return false, nil
+		case *Dict:
+			k, ok := a.(string)
+			if !ok {
+				return false, nil
+			}
+			_, found := container.Get(k)
+			return found, nil
+		case string:
+			s, ok := a.(string)
+			if !ok {
+				return false, nil
+			}
+			return strings.Contains(container, s), nil
+		default:
+			return nil, fmt.Errorf("gdscript: line %d: 'in' needs a container, got %s", line, TypeName(b))
+		}
+	}
+
+	// String concatenation: "Matching color: " + str(color).
+	if as, ok := a.(string); ok {
+		if op == "+" {
+			bs, ok := b.(string)
+			if !ok {
+				return nil, fmt.Errorf("gdscript: line %d: cannot add %s to String (use str())", line, TypeName(b))
+			}
+			return as + bs, nil
+		}
+		if bs, ok := b.(string); ok {
+			switch op {
+			case "<":
+				return as < bs, nil
+			case ">":
+				return as > bs, nil
+			case "<=":
+				return as <= bs, nil
+			case ">=":
+				return as >= bs, nil
+			}
+		}
+	}
+	// Array concatenation.
+	if aa, ok := a.(*Array); ok && op == "+" {
+		ba, ok := b.(*Array)
+		if !ok {
+			return nil, fmt.Errorf("gdscript: line %d: cannot add %s to Array", line, TypeName(b))
+		}
+		out := &Array{Items: make([]Value, 0, len(aa.Items)+len(ba.Items))}
+		out.Items = append(out.Items, aa.Items...)
+		out.Items = append(out.Items, ba.Items...)
+		return out, nil
+	}
+
+	ai, aInt := a.(int64)
+	bi, bInt := b.(int64)
+	if aInt && bInt {
+		switch op {
+		case "+":
+			return ai + bi, nil
+		case "-":
+			return ai - bi, nil
+		case "*":
+			return ai * bi, nil
+		case "/":
+			if bi == 0 {
+				return nil, fmt.Errorf("gdscript: line %d: division by zero", line)
+			}
+			return ai / bi, nil
+		case "%":
+			if bi == 0 {
+				return nil, fmt.Errorf("gdscript: line %d: modulo by zero", line)
+			}
+			return ai % bi, nil
+		case "<":
+			return ai < bi, nil
+		case ">":
+			return ai > bi, nil
+		case "<=":
+			return ai <= bi, nil
+		case ">=":
+			return ai >= bi, nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch op {
+		case "+":
+			return af + bf, nil
+		case "-":
+			return af - bf, nil
+		case "*":
+			return af * bf, nil
+		case "/":
+			if bf == 0 {
+				return nil, fmt.Errorf("gdscript: line %d: division by zero", line)
+			}
+			return af / bf, nil
+		case "<":
+			return af < bf, nil
+		case ">":
+			return af > bf, nil
+		case "<=":
+			return af <= bf, nil
+		case ">=":
+			return af >= bf, nil
+		}
+	}
+	return nil, fmt.Errorf("gdscript: line %d: unsupported %s %s %s", line, TypeName(a), op, TypeName(b))
+}

@@ -1,0 +1,553 @@
+package gdscript
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// runScript parses src, binds it standalone, calls fn, and returns
+// the result.
+func runScript(t *testing.T, src, fn string, args ...Value) (Value, *Instance) {
+	t.Helper()
+	script, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	inst, err := NewInstance(script, nil)
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	v, err := inst.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	return v, inst
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `func f():
+	return (1 + 2 * 3 - 4) / 3 + 10 % 3
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(2) { // (1+6-4)/3 = 1, 10%3 = 1
+		t.Errorf("arithmetic = %v", v)
+	}
+}
+
+func TestFloatCoercion(t *testing.T) {
+	src := `func f():
+	return 1 + 2.5
+`
+	v, _ := runScript(t, src, "f")
+	if v != 3.5 {
+		t.Errorf("coercion = %v", v)
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	const src = `func f(a, b):
+	if a < b and not (a == b):
+		return "less"
+	elif a > b or false:
+		return "greater"
+	else:
+		return "equal"
+`
+	cases := []struct {
+		a, b Value
+		want string
+	}{
+		{int64(1), int64(2), "less"},
+		{int64(3), int64(2), "greater"},
+		{int64(2), int64(2), "equal"},
+	}
+	for _, c := range cases {
+		v, _ := runScript(t, src, "f", c.a, c.b)
+		if v != c.want {
+			t.Errorf("f(%v,%v) = %v, want %v", c.a, c.b, v, c.want)
+		}
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	src := `func f():
+	var s = "Matching color: " + str(2)
+	return s
+`
+	v, _ := runScript(t, src, "f")
+	if v != "Matching color: 2" {
+		t.Errorf("concat = %v", v)
+	}
+}
+
+func TestArraysAndLoops(t *testing.T) {
+	src := `func f():
+	var total = 0
+	var arr = [1, 2, 3, 4]
+	for x in arr:
+		total += x
+	return total
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(10) {
+		t.Errorf("sum = %v", v)
+	}
+}
+
+func TestArrayConcatPlusEquals(t *testing.T) {
+	// The paper's pallet_color_array += array idiom.
+	src := `var acc = []
+
+func f():
+	for row in [[1, 2], [3], [4, 5]]:
+		acc += row
+	return len(acc)
+`
+	v, inst := runScript(t, src, "f")
+	if v != int64(5) {
+		t.Errorf("len = %v", v)
+	}
+	acc := inst.globals["acc"].(*Array)
+	if Str(acc) != "[1, 2, 3, 4, 5]" {
+		t.Errorf("acc = %s", Str(acc))
+	}
+}
+
+func TestArrayIndexingAndAssignment(t *testing.T) {
+	src := `func f():
+	var arr = [10, 20, 30]
+	arr[1] = 99
+	return arr[1] + arr[2]
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(129) {
+		t.Errorf("index = %v", v)
+	}
+}
+
+func TestArrayIndexOutOfRange(t *testing.T) {
+	script, _ := Parse("func f():\n\tvar a = [1]\n\treturn a[5]\n")
+	inst, _ := NewInstance(script, nil)
+	if _, err := inst.Call("f"); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestDictOps(t *testing.T) {
+	src := `func f():
+	var d = {"a": 1, "b": 2}
+	d["c"] = 3
+	var total = 0
+	for k in d:
+		total += d[k]
+	return total
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(6) {
+		t.Errorf("dict sum = %v", v)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `func f():
+	var i = 0
+	var total = 0
+	while true:
+		i += 1
+		if i > 10:
+			break
+		if i % 2 == 0:
+			continue
+		total += i
+	return total
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(25) { // 1+3+5+7+9
+		t.Errorf("loop = %v", v)
+	}
+}
+
+func TestMatchStatement(t *testing.T) {
+	src := `func f(x):
+	match x:
+		0:
+			return "zero"
+		1, 2:
+			return "unreachable comma form"
+		_:
+			return "other"
+`
+	// Note: the comma-pattern form is not in the subset; use
+	// separate literals instead.
+	src = `func f(x):
+	match x:
+		0:
+			return "zero"
+		1:
+			return "one"
+		_:
+			return "other"
+`
+	for x, want := range map[int64]string{0: "zero", 1: "one", 9: "other"} {
+		v, _ := runScript(t, src, "f", x)
+		if v != want {
+			t.Errorf("match(%d) = %v, want %v", x, v, want)
+		}
+	}
+}
+
+func TestMatchInlineBodies(t *testing.T) {
+	// The paper's change_pallet_color uses inline case bodies.
+	src := `var hit = ""
+
+func f(c):
+	match int(c):
+		0: hit = "grey"
+		1: hit = "blue"
+		_: hit = "black"
+	return hit
+`
+	for c, want := range map[int64]string{0: "grey", 1: "blue", 7: "black"} {
+		v, _ := runScript(t, src, "f", c)
+		if v != want {
+			t.Errorf("inline match(%d) = %v, want %v", c, v, want)
+		}
+	}
+}
+
+func TestMatchNoCaseFallsThrough(t *testing.T) {
+	src := `func f():
+	match 9:
+		0: return "zero"
+	return "fell through"
+`
+	v, _ := runScript(t, src, "f")
+	if v != "fell through" {
+		t.Errorf("match = %v", v)
+	}
+}
+
+func TestRangeBuiltin(t *testing.T) {
+	src := `func f():
+	var total = 0
+	for i in range(5):
+		total += i
+	for i in range(2, 5):
+		total += i
+	for i in range(10, 0, -5):
+		total += i
+	return total
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(10+9+15) {
+		t.Errorf("range = %v", v)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	src := `func f():
+	return [len("abc"), int("42"), int(3.9), abs(-5), min(3, 1, 2), max(3, 1, 2), float(2)]
+`
+	v, _ := runScript(t, src, "f")
+	if got := Str(v); got != "[3, 42, 3, 5, 1, 3, 2]" {
+		t.Errorf("builtins = %s", got)
+	}
+}
+
+func TestInOperator(t *testing.T) {
+	src := `func f():
+	var hits = 0
+	if 2 in [1, 2, 3]:
+		hits += 1
+	if "a" in {"a": 1}:
+		hits += 1
+	if "ell" in "hello":
+		hits += 1
+	if 9 in [1]:
+		hits += 100
+	return hits
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(3) {
+		t.Errorf("in = %v", v)
+	}
+}
+
+func TestRecursionAndReturn(t *testing.T) {
+	src := `func fib(n):
+	if n < 2:
+		return n
+	return fib(n - 1) + fib(n - 2)
+`
+	v, _ := runScript(t, src, "fib", int64(10))
+	if v != int64(55) {
+		t.Errorf("fib(10) = %v", v)
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	script, _ := Parse("func f():\n\treturn 1 / 0\n")
+	inst, _ := NewInstance(script, nil)
+	if _, err := inst.Call("f"); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUndefinedVariableError(t *testing.T) {
+	script, _ := Parse("func f():\n\treturn nosuchvar\n")
+	inst, _ := NewInstance(script, nil)
+	if _, err := inst.Call("f"); err == nil {
+		t.Error("undefined identifier accepted")
+	}
+}
+
+func TestAssignUndeclaredError(t *testing.T) {
+	script, _ := Parse("func f():\n\tnosuchvar = 1\n")
+	inst, _ := NewInstance(script, nil)
+	if _, err := inst.Call("f"); err == nil {
+		t.Error("assignment to undeclared accepted")
+	}
+}
+
+func TestStepLimitStopsRunaway(t *testing.T) {
+	script, _ := Parse("func f():\n\twhile true:\n\t\tpass\n")
+	inst, _ := NewInstance(script, nil)
+	inst.MaxSteps = 1000
+	if _, err := inst.Call("f"); err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("runaway not stopped: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad indent":     "func f():\n\tif true:\n\t\t\t\tpass\n\t  pass\n",
+		"unterminated":   "func f():\n\treturn \"oops\n",
+		"missing colon":  "func f()\n\tpass\n",
+		"stray bracket":  "func f():\n\treturn ]\n",
+		"dup func":       "func f():\n\tpass\nfunc f():\n\tpass\n",
+		"top level expr": "1 + 2\n",
+		"bad annotation": "@frobnicate var x = 1\n",
+		"empty block":    "func f():\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed successfully", name)
+		}
+	}
+}
+
+func TestLexerStringsAndComments(t *testing.T) {
+	toks, err := Lex("var s = \"a # not comment\" # real comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strTok *Token
+	for i := range toks {
+		if toks[i].Kind == TokString {
+			strTok = &toks[i]
+		}
+		if toks[i].Kind == TokIdent && toks[i].Text == "real" {
+			t.Error("comment not stripped")
+		}
+	}
+	if strTok == nil || strTok.Text != "a # not comment" {
+		t.Errorf("string token = %v", strTok)
+	}
+}
+
+func TestLexerEscapes(t *testing.T) {
+	toks, err := Lex(`var s = "a\n\t\"b\""` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Kind == TokString {
+			if tok.Text != "a\n\t\"b\"" {
+				t.Errorf("escaped string = %q", tok.Text)
+			}
+			return
+		}
+	}
+	t.Fatal("no string token")
+}
+
+func TestMultilineArrayLiteral(t *testing.T) {
+	src := `var grid = [
+	[1, 2],
+	[3, 4],
+]
+
+func f():
+	return grid[1][0]
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(3) {
+		t.Errorf("multiline literal = %v", v)
+	}
+}
+
+func TestExportVarBackedByProps(t *testing.T) {
+	src := `@export var speed : int = 7
+
+func bump():
+	speed += 1
+	return speed
+`
+	node := engine.NewNode("Node3D", "N")
+	b, err := AttachScript(node, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default exported to props at attach.
+	if node.Props().GetInt("speed", -1) != 7 {
+		t.Errorf("default not exported: %v", node.Props().GetInt("speed", -1))
+	}
+	// Inspector-side change visible to the script.
+	if err := node.Props().Set("speed", 20); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Instance.Call("bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(21) || node.Props().GetInt("speed", -1) != 21 {
+		t.Errorf("two-way binding broken: ret=%v prop=%d", v, node.Props().GetInt("speed", -1))
+	}
+}
+
+func TestExportVarInspectorOverrideWins(t *testing.T) {
+	// A value assigned in the Inspector before the script attaches
+	// must survive (the paper assigns axis references that way).
+	node := engine.NewNode("Node3D", "N")
+	node.Props().Export("speed", 99)
+	b, err := AttachScript(node, "@export var speed : int = 7\n\nfunc get_speed():\n\treturn speed\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Instance.Call("get_speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(99) {
+		t.Errorf("inspector override lost: %v", v)
+	}
+}
+
+func TestOnReadyAndProcess(t *testing.T) {
+	root := engine.NewNode("Node3D", "Root")
+	data := engine.NewNode("Node3D", "Data")
+	data.Data["value"] = 5
+	holder := engine.NewNode("Node3D", "Holder")
+	root.AddChild(data)
+	root.AddChild(holder)
+	src := `@onready var d : Node3D = $"../Data"
+
+var ticks = 0
+
+func _process(delta):
+	ticks += 1
+
+func get_value():
+	return d.value
+`
+	b, err := AttachScript(holder, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := engine.NewSceneTree(root)
+	tree.Start()
+	if b.Err != nil {
+		t.Fatal(b.Err)
+	}
+	v, err := b.Instance.Call("get_value")
+	if err != nil || v != int64(5) {
+		t.Errorf("onready node access = %v, %v", v, err)
+	}
+	tree.Run(3, 0.016)
+	if b.Instance.globals["ticks"] != int64(3) {
+		t.Errorf("_process ticks = %v", b.Instance.globals["ticks"])
+	}
+}
+
+func TestNodeMethodsBridge(t *testing.T) {
+	root := engine.NewNode("Node3D", "Root")
+	for _, n := range []string{"A", "B", "C"} {
+		root.AddChild(engine.NewNode("Node3D", n))
+	}
+	src := `func f():
+	var kids = get_node(".").get_children()
+	var names = []
+	for k in kids:
+		names.append(k.name)
+	return str(len(kids)) + ":" + names[1]
+`
+	b, err := AttachScript(root, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	v, err := b.Instance.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "3:B" {
+		t.Errorf("bridge = %v", v)
+	}
+}
+
+func TestNodeGroupAndSignalBridge(t *testing.T) {
+	root := engine.NewNode("Node3D", "Root")
+	fired := 0
+	root.Connect("custom", func(*engine.Node, ...any) { fired++ })
+	src := `func f():
+	var me = get_node(".")
+	me.add_to_group("testers")
+	me.emit_signal("custom")
+	return me.is_in_group("testers")
+`
+	b, err := AttachScript(root, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	v, err := b.Instance.Call("f")
+	if err != nil || v != true || fired != 1 {
+		t.Errorf("group/signal bridge: v=%v err=%v fired=%d", v, err, fired)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !Truthy(int64(1)) || Truthy(int64(0)) || Truthy("") || !Truthy("x") {
+		t.Error("Truthy wrong")
+	}
+	if Truthy(&Array{}) || !Truthy(&Array{Items: []Value{int64(1)}}) {
+		t.Error("Truthy on arrays wrong")
+	}
+	if !Equal(int64(2), 2.0) || Equal(int64(2), "2") {
+		t.Error("Equal coercion wrong")
+	}
+	if TypeName(&Dict{}) != "Dictionary" || TypeName(nil) != "null" {
+		t.Error("TypeName wrong")
+	}
+	if Str(true) != "true" || Str(nil) != "null" {
+		t.Error("Str wrong")
+	}
+	d := NewDict()
+	d.Set("k", int64(1))
+	if Str(d) != `{"k": 1}` {
+		t.Errorf("dict Str = %s", Str(d))
+	}
+}
+
+func TestCallArityErrors(t *testing.T) {
+	script, _ := Parse("func f(a, b):\n\treturn a\n")
+	inst, _ := NewInstance(script, nil)
+	if _, err := inst.Call("f", int64(1)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := inst.Call("missing"); err == nil {
+		t.Error("missing function accepted")
+	}
+}

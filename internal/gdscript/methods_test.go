@@ -1,0 +1,220 @@
+package gdscript
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestArrayMethods(t *testing.T) {
+	src := `func f():
+	var a = []
+	a.append(1)
+	a.push_back(2)
+	var n = a.size()
+	var had = a.has(2)
+	a.clear()
+	return [n, had, a.size()]
+`
+	v, _ := runScript(t, src, "f")
+	if Str(v) != "[2, true, 0]" {
+		t.Errorf("array methods = %s", Str(v))
+	}
+}
+
+func TestDictMethods(t *testing.T) {
+	src := `func f():
+	var d = {"x": 1}
+	d["y"] = 2
+	var ks = d.keys()
+	return [d.size(), d.has("x"), d.has("z"), ks[0], ks[1]]
+`
+	v, _ := runScript(t, src, "f")
+	if Str(v) != `[2, true, false, "x", "y"]` {
+		t.Errorf("dict methods = %s", Str(v))
+	}
+}
+
+func TestDictAttributeAccess(t *testing.T) {
+	// Dot access reads dictionary keys, as in GDScript.
+	src := `func f():
+	var d = {"speed": 9}
+	return d.speed
+`
+	v, _ := runScript(t, src, "f")
+	if v != int64(9) {
+		t.Errorf("dict attr = %v", v)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	src := `func f():
+	var s = "abc"
+	return [s.length(), s.to_upper(), s[1]]
+`
+	v, _ := runScript(t, src, "f")
+	if Str(v) != `[3, "ABC", "b"]` {
+		t.Errorf("string methods = %s", Str(v))
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `func f():
+	var x = 1.5 * 2.0
+	var neg = -x
+	return [x, neg, 7.0 / 2.0, 1.0 < 2.0]
+`
+	v, _ := runScript(t, src, "f")
+	if Str(v) != "[3, -3, 3.5, true]" {
+		t.Errorf("float ops = %s", Str(v))
+	}
+}
+
+func TestNodeGetSetAndCounts(t *testing.T) {
+	root := engine.NewNode("Node3D", "Root")
+	child := engine.NewNode("Node3D", "Child")
+	child.Props().Export("visible", true)
+	root.AddChild(child)
+	src := `func f():
+	var c = get_node("Child")
+	c.set("visible", false)
+	return [c.get("visible"), get_node(".").get_child_count(), c.get_parent().get_name()]
+`
+	b, err := AttachScript(root, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	v, err := b.Instance.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Str(v) != `[false, 1, "Root"]` {
+		t.Errorf("node get/set = %s", Str(v))
+	}
+}
+
+func TestNodeAttrWriteFallsBackToData(t *testing.T) {
+	// Assigning an attribute that is not an exported property lands
+	// in the node's Data map — how scripts stash state on nodes.
+	root := engine.NewNode("Node3D", "Root")
+	src := `func f():
+	var me = get_node(".")
+	me.custom_state = 42
+	return me.custom_state
+`
+	b, err := AttachScript(root, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	v, err := b.Instance.Call("f")
+	if err != nil || v != int64(42) {
+		t.Fatalf("data fallback: %v, %v", v, err)
+	}
+	if root.Data["custom_state"] != 42 {
+		t.Errorf("Data map = %v", root.Data["custom_state"])
+	}
+}
+
+func TestSelfReference(t *testing.T) {
+	root := engine.NewNode("Node3D", "Me")
+	b, err := AttachScript(root, "func f():\n\treturn self.name\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	v, err := b.Instance.Call("f")
+	if err != nil || v != "Me" {
+		t.Errorf("self = %v, %v", v, err)
+	}
+}
+
+func TestGetParentOfRootIsNull(t *testing.T) {
+	root := engine.NewNode("Node3D", "Root")
+	b, err := AttachScript(root, "func f():\n\treturn get_node(\".\").get_parent() == null\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	v, err := b.Instance.Call("f")
+	if err != nil || v != true {
+		t.Errorf("root parent = %v, %v", v, err)
+	}
+}
+
+func TestNodePathOutsideSceneErrors(t *testing.T) {
+	script, err := Parse("func f():\n\treturn $\"../Data\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("f"); err == nil {
+		t.Error("node path resolved without a scene")
+	}
+}
+
+func TestMethodErrors(t *testing.T) {
+	root := engine.NewNode("Node3D", "Root")
+	cases := map[string]string{
+		"unknown node method": "func f():\n\treturn get_node(\".\").frobnicate()\n",
+		"unknown builtin":     "func f():\n\treturn frobnicate()\n",
+		"get_child range":     "func f():\n\treturn get_node(\".\").get_child(9)\n",
+		"bad attr":            "func f():\n\treturn get_node(\".\").missing_attr\n",
+		"call non-callable":   "func f():\n\treturn (1 + 2)()\n",
+		"index int":           "func f():\n\treturn (5)[0]\n",
+	}
+	for name, src := range cases {
+		b, err := AttachScript(engine.NewNode("Node3D", "N"), src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := b.Instance.Call("f"); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	_ = root
+}
+
+func TestMembershipDictAndMismatchedTypes(t *testing.T) {
+	src := `func f():
+	var d = {"k": 1}
+	return [1 in d, "k" in d]
+`
+	v, _ := runScript(t, src, "f")
+	if Str(v) != "[false, true]" {
+		t.Errorf("membership = %s", Str(v))
+	}
+}
+
+func TestStrMultipleArgs(t *testing.T) {
+	src := "func f():\n\treturn str(\"a\", 1, true)\n"
+	v, _ := runScript(t, src, "f")
+	if v != "a1true" {
+		t.Errorf("str = %v", v)
+	}
+}
+
+func TestNodeRefStrAndEquality(t *testing.T) {
+	root := engine.NewNode("Node3D", "Root")
+	src := `func f():
+	var a = get_node(".")
+	var b = get_node(".")
+	return [a == b, str(a)]
+`
+	beh, err := AttachScript(root, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	v, err := beh.Instance.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Str(v) != `[true, "Root:<Node3D>"]` {
+		t.Errorf("node ref = %s", Str(v))
+	}
+}

@@ -1,0 +1,222 @@
+package gdscript_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/game"
+	"repro/internal/gdscript"
+)
+
+// buildPaperLevel builds a training-level scene, removes the native
+// Go controller behavior, and attaches the paper's GDScript instead.
+func buildPaperLevel(t *testing.T) (*engine.SceneTree, *gdscript.Behavior, *engine.Node) {
+	t.Helper()
+	module := game.TrainingModule()
+	root, err := game.BuildLevelScene(module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	controller := root.MustGetNode(game.NodeController)
+	controller.SetBehavior(nil) // replace the Go port with the original
+	b, err := gdscript.AttachScript(controller, gdscript.PaperControllerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := engine.NewSceneTree(root)
+	tree.Start()
+	if b.Err != nil {
+		t.Fatalf("paper script _ready failed: %v", b.Err)
+	}
+	return tree, b, controller
+}
+
+// TestPaperScriptParses verifies the paper's listing parses with all
+// three functions and seven script variables.
+func TestPaperScriptParses(t *testing.T) {
+	script, err := gdscript.Parse(gdscript.PaperControllerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.Extends != "Node3D" {
+		t.Errorf("extends %q, want Node3D", script.Extends)
+	}
+	for _, fn := range []string{"_ready", "set_labels", "change_pallet_color"} {
+		if _, ok := script.Funcs[fn]; !ok {
+			t.Errorf("missing function %q", fn)
+		}
+	}
+	// 4 @export + 2 @onready + pallet_color_array + 5 materials.
+	if len(script.Vars) != 12 {
+		t.Errorf("parsed %d script vars, want 12", len(script.Vars))
+	}
+}
+
+// TestPaperScriptSetsLabels verifies _ready → set_labels writes the
+// module's axis labels onto both axes' Label3D children.
+func TestPaperScriptSetsLabels(t *testing.T) {
+	tree, _, _ := buildPaperLevel(t)
+	module := game.TrainingModule()
+	for _, axisName := range []string{game.NodeXAxis, game.NodeYAxis} {
+		axis := tree.Root().MustGetNode(axisName)
+		got := game.AxisLabelTexts(axis)
+		if len(got) != len(module.AxisLabels) {
+			t.Fatalf("axis %s has %d labels, want %d", axisName, len(got), len(module.AxisLabels))
+		}
+		for i, want := range module.AxisLabels {
+			if got[i] != want {
+				t.Errorf("axis %s label %d = %q, want %q", axisName, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestPaperScriptColorToggle verifies change_pallet_color colors
+// every pallet according to the module's color matrix, then restores
+// the default material on the second call — and that its state
+// round-trips through the exported pallets_are_colored property.
+func TestPaperScriptColorToggle(t *testing.T) {
+	tree, b, controller := buildPaperLevel(t)
+	module := game.TrainingModule()
+	n, _ := module.Dim()
+
+	if got := controller.Props().GetBool("pallets_are_colored", true); got {
+		t.Fatal("pallets_are_colored should start false")
+	}
+	if _, err := b.Instance.Call("change_pallet_color"); err != nil {
+		t.Fatal(err)
+	}
+	if got := controller.Props().GetBool("pallets_are_colored", false); !got {
+		t.Fatal("pallets_are_colored should be true after first toggle")
+	}
+	pallets := tree.Root().MustGetNode(game.NodePallets)
+	for idx, pallet := range pallets.Children() {
+		i, j := idx/n, idx%n
+		want := game.MaterialForCode(module.TrafficMatrixColors[i][j])
+		got := pallet.MustChild(0).Props().GetString("material_override", "")
+		if got != want {
+			t.Fatalf("pallet (%d,%d) material %q, want %q", i, j, got, want)
+		}
+	}
+	if _, err := b.Instance.Call("change_pallet_color"); err != nil {
+		t.Fatal(err)
+	}
+	for idx, pallet := range pallets.Children() {
+		got := pallet.MustChild(0).Props().GetString("material_override", "")
+		if got != game.MaterialDefault {
+			t.Fatalf("pallet %d material %q after untoggle, want default", idx, got)
+		}
+	}
+	out := b.Instance.Stdout.String()
+	if !strings.Contains(out, "Palets are default! Making them colored") {
+		t.Errorf("missing colored-path print; got:\n%s", out)
+	}
+	if !strings.Contains(out, "Palets are colored! Making them default") {
+		t.Errorf("missing default-path print; got:\n%s", out)
+	}
+}
+
+// TestPaperScriptMatchesGoPort verifies the GDScript original and
+// the Go port produce identical pallet materials for every color
+// code, including the black fallback.
+func TestPaperScriptMatchesGoPort(t *testing.T) {
+	module := game.TrainingModule()
+	// Inject an out-of-range color to exercise the fallback arm.
+	module.TrafficMatrixColors[5][5] = 9
+
+	// GDScript path.
+	root, err := game.BuildLevelScene(module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	controller := root.MustGetNode(game.NodeController)
+	controller.SetBehavior(nil)
+	b, err := gdscript.AttachScript(controller, gdscript.PaperControllerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	if b.Err != nil {
+		t.Fatal(b.Err)
+	}
+	if _, err := b.Instance.Call("change_pallet_color"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Go-port path.
+	root2, err := game.BuildLevelScene(module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root2).Start()
+	controller2 := root2.MustGetNode(game.NodeController)
+	if err := game.ChangePalletColor(controller2); err != nil {
+		t.Fatal(err)
+	}
+
+	p1 := root.MustGetNode(game.NodePallets).Children()
+	p2 := root2.MustGetNode(game.NodePallets).Children()
+	if len(p1) != len(p2) {
+		t.Fatalf("pallet counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		m1 := p1[i].MustChild(0).Props().GetString("material_override", "")
+		m2 := p2[i].MustChild(0).Props().GetString("material_override", "")
+		if m1 != m2 {
+			t.Errorf("pallet %d: script %q vs port %q", i, m1, m2)
+		}
+	}
+	// The injected bad code must have produced the black fallback.
+	n, _ := module.Dim()
+	bad := p1[5*n+5].MustChild(0).Props().GetString("material_override", "")
+	if bad != game.MaterialBlack {
+		t.Errorf("out-of-range color produced %q, want black fallback", bad)
+	}
+}
+
+// TestHelloWorld runs Fig 1c end to end.
+func TestHelloWorld(t *testing.T) {
+	script, err := gdscript.Parse(gdscript.HelloWorldGDScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := gdscript.NewInstance(script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Ready(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Stdout.String(); got != "Hello, world!\n" {
+		t.Errorf("stdout = %q, want %q", got, "Hello, world!\n")
+	}
+}
+
+// TestPaperScriptLabelMismatch verifies the script's printerr branch
+// fires when the level data disagrees with the label count, exactly
+// like the original's error handling.
+func TestPaperScriptLabelMismatch(t *testing.T) {
+	module := game.TrainingModule()
+	root, err := game.BuildLevelScene(module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the Data node after scene construction.
+	data := root.MustGetNode(game.NodeData)
+	data.Data["axis_labels"] = []string{"A", "B"}
+
+	controller := root.MustGetNode(game.NodeController)
+	controller.SetBehavior(nil)
+	b, err := gdscript.AttachScript(controller, gdscript.PaperControllerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.NewSceneTree(root).Start()
+	if b.Err != nil {
+		t.Fatalf("script errored instead of printerr: %v", b.Err)
+	}
+	if !strings.Contains(b.Instance.Stderr.String(), "Level data does not match number of labels!") {
+		t.Errorf("expected printerr output, got %q", b.Instance.Stderr.String())
+	}
+}

@@ -1,0 +1,761 @@
+package gdscript
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse lexes and parses a script file.
+func Parse(src string) (*Script, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseScript()
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the next token when it matches kind and text
+// (empty text matches any).
+func (p *parser) accept(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = kind.String()
+		}
+		return t, fmt.Errorf("gdscript: line %d: expected %s, found %s %q", t.Line, want, t.Kind, t.Text)
+	}
+	return p.next(), nil
+}
+
+// skipNewlines consumes consecutive newline tokens.
+func (p *parser) skipNewlines() {
+	for p.accept(TokNewline, "") {
+	}
+}
+
+// parseScript parses the whole file.
+func (p *parser) parseScript() (*Script, error) {
+	s := &Script{Funcs: make(map[string]*FuncDecl)}
+	p.skipNewlines()
+	for p.peek().Kind != TokEOF {
+		t := p.peek()
+		switch {
+		case t.Kind == TokKeyword && t.Text == "extends":
+			p.next()
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			s.Extends = name.Text
+			if _, err := p.expect(TokNewline, ""); err != nil {
+				return nil, err
+			}
+		case t.Kind == TokAnnotation:
+			p.next()
+			decl, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			switch t.Text {
+			case "export":
+				decl.Export = true
+			case "onready":
+				decl.OnReady = true
+			default:
+				return nil, fmt.Errorf("gdscript: line %d: unsupported annotation @%s", t.Line, t.Text)
+			}
+			s.Vars = append(s.Vars, decl)
+		case t.Kind == TokKeyword && (t.Text == "var" || t.Text == "const"):
+			decl, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Vars = append(s.Vars, decl)
+		case t.Kind == TokKeyword && t.Text == "func":
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := s.Funcs[fn.Name]; dup {
+				return nil, fmt.Errorf("gdscript: line %d: duplicate function %q", fn.Line, fn.Name)
+			}
+			s.Funcs[fn.Name] = fn
+			s.FuncOrder = append(s.FuncOrder, fn.Name)
+		default:
+			return nil, fmt.Errorf("gdscript: line %d: unexpected %s %q at top level", t.Line, t.Kind, t.Text)
+		}
+		p.skipNewlines()
+	}
+	return s, nil
+}
+
+// parseVarDecl parses `var name [: Type] [= expr]` (or const),
+// consuming the trailing newline.
+func (p *parser) parseVarDecl() (*VarDecl, error) {
+	kw := p.peek()
+	isConst := kw.Text == "const"
+	if kw.Kind != TokKeyword || (kw.Text != "var" && kw.Text != "const") {
+		return nil, fmt.Errorf("gdscript: line %d: expected var, found %q", kw.Line, kw.Text)
+	}
+	p.next()
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	decl := &VarDecl{Name: name.Text, Line: name.Line, Const: isConst}
+	if p.accept(TokOp, ":") {
+		typ, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		decl.Type = typ.Text
+	}
+	if p.accept(TokOp, "=") {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		decl.Init = init
+	}
+	if _, err := p.expect(TokNewline, ""); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+// parseFunc parses a function definition with its indented body.
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	kw, err := p.expect(TokKeyword, "func")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Line: kw.Line}
+	for !p.accept(TokOp, ")") {
+		param, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		// Optional parameter type annotation.
+		if p.accept(TokOp, ":") {
+			if _, err := p.expect(TokIdent, ""); err != nil {
+				return nil, err
+			}
+		}
+		fn.Params = append(fn.Params, param.Text)
+		if !p.accept(TokOp, ",") && p.peek().Text != ")" {
+			return nil, fmt.Errorf("gdscript: line %d: expected , or ) in parameters", p.peek().Line)
+		}
+	}
+	// Optional return type: -> Type. ("-" ">" as two ops.)
+	if p.peek().Kind == TokOp && p.peek().Text == "-" {
+		p.next()
+		if _, err := p.expect(TokOp, ">"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokIdent, ""); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokOp, ":"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseBlock parses either an inline simple statement (after a
+// colon on the same line) or a NEWLINE INDENT stmts DEDENT suite.
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if p.peek().Kind != TokNewline {
+		// Inline suite: one simple statement.
+		st, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokNewline, ""); err != nil {
+			return nil, err
+		}
+		return []Stmt{st}, nil
+	}
+	p.next() // newline
+	if _, err := p.expect(TokIndent, ""); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for {
+		p.skipNewlines()
+		if p.accept(TokDedent, "") {
+			break
+		}
+		if p.peek().Kind == TokEOF {
+			break
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("gdscript: empty block near line %d", p.peek().Line)
+	}
+	return stmts, nil
+}
+
+// parseStmt parses one statement (compound or simple).
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "match":
+			return p.parseMatch()
+		case "var", "const":
+			decl, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			return &LocalVarStmt{Decl: decl}, nil
+		}
+	}
+	st, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline, ""); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseSimpleStmt parses a one-line statement without its newline.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "return":
+			p.next()
+			rs := &ReturnStmt{Line: t.Line}
+			if p.peek().Kind != TokNewline {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				rs.Value = v
+			}
+			return rs, nil
+		case "pass":
+			p.next()
+			return &PassStmt{Line: t.Line}, nil
+		case "break":
+			p.next()
+			return &BreakStmt{Line: t.Line}, nil
+		case "continue":
+			p.next()
+			return &ContinueStmt{Line: t.Line}, nil
+		}
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op := p.peek(); op.Kind == TokOp && isAssignOp(op.Text) {
+		p.next()
+		value, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isAssignable(expr) {
+			return nil, fmt.Errorf("gdscript: line %d: cannot assign to this expression", op.Line)
+		}
+		return &AssignStmt{Target: expr, Op: op.Text, Value: value, Line: op.Line}, nil
+	}
+	return &ExprStmt{X: expr, Line: t.Line}, nil
+}
+
+func isAssignOp(op string) bool {
+	switch op {
+	case "=", "+=", "-=", "*=", "/=":
+		return true
+	}
+	return false
+}
+
+func isAssignable(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *AttrExpr, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+// parseIf parses an if/elif/else chain.
+func (p *parser) parseIf() (Stmt, error) {
+	kw, _ := p.expect(TokKeyword, "if")
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ":"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Body: body, Line: kw.Line}
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.Kind == TokKeyword && t.Text == "elif" {
+			p.next()
+			c, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ":"); err != nil {
+				return nil, err
+			}
+			b, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Elifs = append(st.Elifs, struct {
+				Cond Expr
+				Body []Stmt
+			}{c, b})
+			continue
+		}
+		if t.Kind == TokKeyword && t.Text == "else" {
+			p.next()
+			if _, err := p.expect(TokOp, ":"); err != nil {
+				return nil, err
+			}
+			b, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = b
+		}
+		break
+	}
+	return st, nil
+}
+
+// parseFor parses `for name in expr: block`.
+func (p *parser) parseFor() (Stmt, error) {
+	kw, _ := p.expect(TokKeyword, "for")
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "in"); err != nil {
+		return nil, err
+	}
+	seq, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ":"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: name.Text, Seq: seq, Body: body, Line: kw.Line}, nil
+}
+
+// parseWhile parses `while expr: block`.
+func (p *parser) parseWhile() (Stmt, error) {
+	kw, _ := p.expect(TokKeyword, "while")
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ":"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: kw.Line}, nil
+}
+
+// parseMatch parses a match statement with literal patterns and the
+// "_" wildcard; case bodies may be inline.
+func (p *parser) parseMatch() (Stmt, error) {
+	kw, _ := p.expect(TokKeyword, "match")
+	subject, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ":"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline, ""); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIndent, ""); err != nil {
+		return nil, err
+	}
+	st := &MatchStmt{Subject: subject, Line: kw.Line}
+	for {
+		p.skipNewlines()
+		if p.accept(TokDedent, "") || p.peek().Kind == TokEOF {
+			break
+		}
+		var mc MatchCase
+		if t := p.peek(); t.Kind == TokIdent && t.Text == "_" {
+			p.next()
+			mc.Wildcard = true
+		} else {
+			pat, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			mc.Pattern = pat
+		}
+		if _, err := p.expect(TokOp, ":"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		mc.Body = body
+		st.Cases = append(st.Cases, mc)
+	}
+	if len(st.Cases) == 0 {
+		return nil, fmt.Errorf("gdscript: line %d: match with no cases", kw.Line)
+	}
+	return st, nil
+}
+
+// Expression parsing: precedence climbing.
+// or < and < not < comparison < additive < multiplicative < unary
+// < postfix < primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if (t.Kind == TokKeyword && t.Text == "or") || (t.Kind == TokOp && t.Text == "||") {
+			p.next()
+			y, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: "or", X: x, Y: y, Line: t.Line}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	x, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if (t.Kind == TokKeyword && t.Text == "and") || (t.Kind == TokOp && t.Text == "&&") {
+			p.next()
+			y, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: "and", X: x, Y: y, Line: t.Line}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "not" {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", X: x, Line: t.Line}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "==", "!=", "<", ">", "<=", ">=":
+			p.next()
+			y, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.Text, X: x, Y: y, Line: t.Line}, nil
+		}
+	}
+	// `x in seq` membership.
+	if t.Kind == TokKeyword && t.Text == "in" {
+		p.next()
+		y, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "in", X: x, Y: y, Line: t.Line}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	x, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			y, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: t.Text, X: x, Y: y, Line: t.Line}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.next()
+			y, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: t.Text, X: x, Y: y, Line: t.Line}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t := p.peek(); t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x, Line: t.Line}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses primary expressions followed by .attr, [index]
+// and (args) chains.
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp {
+			return x, nil
+		}
+		switch t.Text {
+		case ".":
+			p.next()
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &AttrExpr{X: x, Name: name.Text, Line: t.Line}
+		case "[":
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Line: t.Line}
+		case "(":
+			p.next()
+			call := &CallExpr{Fn: x, Line: t.Line}
+			for !p.accept(TokOp, ")") {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(TokOp, ",") && p.peek().Text != ")" {
+					return nil, fmt.Errorf("gdscript: line %d: expected , or ) in call", p.peek().Line)
+				}
+			}
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+// parsePrimary parses literals, identifiers, node paths, arrays,
+// dictionaries, and parenthesized expressions.
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("gdscript: line %d: bad number %q", t.Line, t.Text)
+			}
+			return &Literal{Value: f, Line: t.Line}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gdscript: line %d: bad number %q", t.Line, t.Text)
+		}
+		return &Literal{Value: n, Line: t.Line}, nil
+	case TokString:
+		p.next()
+		return &Literal{Value: t.Text, Line: t.Line}, nil
+	case TokNodePath:
+		p.next()
+		return &NodePathExpr{Path: t.Text, Line: t.Line}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "true":
+			p.next()
+			return &Literal{Value: true, Line: t.Line}, nil
+		case "false":
+			p.next()
+			return &Literal{Value: false, Line: t.Line}, nil
+		case "null":
+			p.next()
+			return &Literal{Value: nil, Line: t.Line}, nil
+		}
+		return nil, fmt.Errorf("gdscript: line %d: unexpected keyword %q in expression", t.Line, t.Text)
+	case TokIdent:
+		p.next()
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case TokOp:
+		switch t.Text {
+		case "(":
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		case "[":
+			p.next()
+			lit := &ArrayLit{Line: t.Line}
+			for !p.accept(TokOp, "]") {
+				item, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Items = append(lit.Items, item)
+				if !p.accept(TokOp, ",") && p.peek().Text != "]" {
+					return nil, fmt.Errorf("gdscript: line %d: expected , or ] in array", p.peek().Line)
+				}
+			}
+			return lit, nil
+		case "{":
+			p.next()
+			lit := &DictLit{Line: t.Line}
+			for !p.accept(TokOp, "}") {
+				k, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokOp, ":"); err != nil {
+					return nil, err
+				}
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Keys = append(lit.Keys, k)
+				lit.Values = append(lit.Values, v)
+				if !p.accept(TokOp, ",") && p.peek().Text != "}" {
+					return nil, fmt.Errorf("gdscript: line %d: expected , or } in dictionary", p.peek().Line)
+				}
+			}
+			return lit, nil
+		}
+	}
+	return nil, fmt.Errorf("gdscript: line %d: unexpected %s %q in expression", t.Line, t.Kind, t.Text)
+}

@@ -1,0 +1,90 @@
+package gdscript
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLexerNeverPanics: the lexer must return tokens or an error —
+// never panic — on arbitrary byte soup.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	alphabet := []byte("abc_09 \t\n\"'\\$@#:=+-*/%()[]{}<>!.,⚡")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(80)
+		src := make([]byte, 0, n)
+		for i := 0; i < n; i++ {
+			src = append(src, alphabet[rng.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Lex(string(src))
+		}()
+	}
+}
+
+// TestParserNeverPanics: same contract for the parser over
+// token-soup that lexes successfully.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	words := []string{
+		"func", "var", "if", "else", "for", "in", "while", "match",
+		"return", "pass", "x", "y", "f", "(", ")", ":", "=", "+",
+		"[", "]", "{", "}", "\"s\"", "1", "2.5", "$\"p\"", "@export",
+		"\n", "\n\t", "\n\t\t", ",", ".",
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(25)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += words[rng.Intn(len(words))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestInterpreterErrorsDoNotCorruptInstance: after a failed call the
+// instance still evaluates correct code.
+func TestInterpreterErrorsDoNotCorruptInstance(t *testing.T) {
+	src := `var counter = 0
+
+func bad():
+	counter += 1
+	return 1 / 0
+
+func good():
+	counter += 1
+	return counter
+`
+	script, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("bad"); err == nil {
+		t.Fatal("division by zero not reported")
+	}
+	v, err := inst.Call("good")
+	if err != nil {
+		t.Fatalf("instance corrupted after error: %v", err)
+	}
+	// counter was incremented once in bad() before the error and
+	// once in good().
+	if v != int64(2) {
+		t.Errorf("counter = %v, want 2", v)
+	}
+}

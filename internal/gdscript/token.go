@@ -1,0 +1,306 @@
+// Package gdscript implements an interpreter for the GDScript
+// subset the paper's listings use: typed var declarations with
+// @export and @onready annotations, functions, if/elif/else, for,
+// while, match (including inline case bodies), arrays and
+// dictionaries, node-path sugar ($"../Data"), and the engine bridge
+// that lets scripts read and write scene nodes.
+//
+// The paper's argument for Godot rests on GDScript being easy for
+// non-game-developers; running the paper's own "Pallet and label
+// controller" script unmodified against internal/engine verifies the
+// engine exposes the same scripting surface.
+package gdscript
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+	TokNodePath // $"path" or $name
+	TokAnnotation
+)
+
+// kindNames maps kinds to display names for diagnostics.
+var kindNames = map[TokenKind]string{
+	TokEOF: "EOF", TokNewline: "newline", TokIndent: "indent",
+	TokDedent: "dedent", TokIdent: "identifier", TokKeyword: "keyword",
+	TokNumber: "number", TokString: "string", TokOp: "operator",
+	TokNodePath: "node path", TokAnnotation: "annotation",
+}
+
+// String names the kind.
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Token is one lexical unit with its source line for diagnostics.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+}
+
+// keywords of the supported subset.
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "elif": true, "else": true,
+	"for": true, "while": true, "in": true, "match": true,
+	"return": true, "pass": true, "true": true, "false": true,
+	"null": true, "and": true, "or": true, "not": true,
+	"extends": true, "break": true, "continue": true, "const": true,
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "&&", "||",
+}
+
+// singleOps are the single-character operators.
+const singleOps = "+-*/%=<>:,.()[]{}"
+
+// Lex tokenizes source into a token stream with Python-style
+// INDENT/DEDENT tokens. Comments (#) and blank lines are skipped;
+// tabs count as one indent unit each, spaces as one each (scripts
+// must be internally consistent, as in GDScript).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	indents := []int{0}
+	lines := strings.Split(src, "\n")
+	parenDepth := 0
+
+	for lineNo, raw := range lines {
+		line := raw
+		// Strip comments outside strings.
+		line = stripComment(line)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" && parenDepth == 0 {
+			continue
+		}
+		if parenDepth == 0 {
+			// Measure indentation.
+			level := 0
+			for _, r := range line {
+				if r == '\t' || r == ' ' {
+					level++
+				} else {
+					break
+				}
+			}
+			top := indents[len(indents)-1]
+			if level > top {
+				indents = append(indents, level)
+				toks = append(toks, Token{Kind: TokIndent, Line: lineNo + 1})
+			}
+			for level < indents[len(indents)-1] {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, Token{Kind: TokDedent, Line: lineNo + 1})
+			}
+			if level != indents[len(indents)-1] {
+				return nil, fmt.Errorf("gdscript: line %d: inconsistent indentation", lineNo+1)
+			}
+		}
+		lineToks, depth, err := lexLine(trimmed, lineNo+1, parenDepth)
+		if err != nil {
+			return nil, err
+		}
+		parenDepth = depth
+		toks = append(toks, lineToks...)
+		if parenDepth == 0 {
+			toks = append(toks, Token{Kind: TokNewline, Line: lineNo + 1})
+		}
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, Token{Kind: TokDedent, Line: len(lines)})
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: len(lines)})
+	return toks, nil
+}
+
+// stripComment removes a # comment, respecting string literals.
+func stripComment(line string) string {
+	inString := false
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inString {
+			if c == '\\' {
+				i++
+			} else if c == quote {
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inString = true
+			quote = c
+		case '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// lexLine tokenizes one logical line, tracking bracket depth so
+// multi-line literals continue onto the next physical line.
+func lexLine(s string, lineNo, depth int) ([]Token, int, error) {
+	var toks []Token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '$':
+			// Node-path sugar: $"path" or $Name/Sub.
+			i++
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				str, n, err := lexString(s[i:], lineNo)
+				if err != nil {
+					return nil, depth, err
+				}
+				toks = append(toks, Token{Kind: TokNodePath, Text: str, Line: lineNo})
+				i += n
+			} else {
+				start := i
+				for i < len(s) && (isIdentChar(s[i]) || s[i] == '/') {
+					i++
+				}
+				if i == start {
+					return nil, depth, fmt.Errorf("gdscript: line %d: bare $", lineNo)
+				}
+				toks = append(toks, Token{Kind: TokNodePath, Text: s[start:i], Line: lineNo})
+			}
+		case c == '@':
+			i++
+			start := i
+			for i < len(s) && isIdentChar(s[i]) {
+				i++
+			}
+			if i == start {
+				return nil, depth, fmt.Errorf("gdscript: line %d: bare @", lineNo)
+			}
+			toks = append(toks, Token{Kind: TokAnnotation, Text: s[start:i], Line: lineNo})
+		case c == '"' || c == '\'':
+			str, n, err := lexString(s[i:], lineNo)
+			if err != nil {
+				return nil, depth, err
+			}
+			toks = append(toks, Token{Kind: TokString, Text: str, Line: lineNo})
+			i += n
+		case c >= '0' && c <= '9':
+			start := i
+			seenDot := false
+			for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.' && !seenDot) {
+				if s[i] == '.' {
+					// A trailing method call like 3.abs() is not
+					// supported; treat dot-digit as decimal.
+					if i+1 >= len(s) || s[i+1] < '0' || s[i+1] > '9' {
+						break
+					}
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: s[start:i], Line: lineNo})
+		case isIdentStart(c):
+			start := i
+			for i < len(s) && isIdentChar(s[i]) {
+				i++
+			}
+			word := s[start:i]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: lineNo})
+		default:
+			matched := false
+			for _, op := range multiOps {
+				if strings.HasPrefix(s[i:], op) {
+					toks = append(toks, Token{Kind: TokOp, Text: op, Line: lineNo})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.IndexByte(singleOps, c) >= 0 {
+				switch c {
+				case '(', '[', '{':
+					depth++
+				case ')', ']', '}':
+					depth--
+				}
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Line: lineNo})
+				i++
+				continue
+			}
+			return nil, depth, fmt.Errorf("gdscript: line %d: unexpected character %q", lineNo, c)
+		}
+	}
+	return toks, depth, nil
+}
+
+// lexString lexes a quoted string starting at s[0] (the quote) and
+// returns the decoded value and consumed byte count. Curly/smart
+// quotes from the paper's PDF extraction are normalized upstream.
+func lexString(s string, lineNo int) (string, int, error) {
+	quote := s[0]
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case quote:
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("gdscript: line %d: dangling escape", lineNo)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'':
+				b.WriteByte(s[i])
+			default:
+				return "", 0, fmt.Errorf("gdscript: line %d: unknown escape \\%c", lineNo, s[i])
+			}
+			i++
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("gdscript: line %d: unterminated string", lineNo)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

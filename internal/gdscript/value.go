@@ -1,0 +1,278 @@
+package gdscript
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Value is any GDScript runtime value: nil, bool, int64, float64,
+// string, *Array, *Dict, or *NodeRef.
+type Value any
+
+// Array is a mutable reference-semantics list, like GDScript's
+// Array.
+type Array struct {
+	Items []Value
+}
+
+// Dict is a string-keyed dictionary (the subset the module format
+// needs; Godot dictionaries read from JSON are string-keyed too).
+type Dict struct {
+	m     map[string]Value
+	order []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{m: make(map[string]Value)}
+}
+
+// Set stores a key, preserving first-insertion order.
+func (d *Dict) Set(key string, v Value) {
+	if _, ok := d.m[key]; !ok {
+		d.order = append(d.order, key)
+	}
+	d.m[key] = v
+}
+
+// Get fetches a key.
+func (d *Dict) Get(key string) (Value, bool) {
+	v, ok := d.m[key]
+	return v, ok
+}
+
+// Keys returns keys in insertion order.
+func (d *Dict) Keys() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Len returns the entry count.
+func (d *Dict) Len() int { return len(d.m) }
+
+// NodeRef wraps an engine node as a script value.
+type NodeRef struct {
+	Node *engine.Node
+}
+
+// FromGo converts a Go value (as stored in engine node Data and
+// props) into a script value. Slices and maps convert recursively.
+func FromGo(v any) Value {
+	switch val := v.(type) {
+	case nil, bool, int64, float64, string:
+		return val
+	case int:
+		return int64(val)
+	case *engine.Node:
+		if val == nil {
+			return nil
+		}
+		return &NodeRef{Node: val}
+	case []int:
+		arr := &Array{}
+		for _, x := range val {
+			arr.Items = append(arr.Items, int64(x))
+		}
+		return arr
+	case [][]int:
+		arr := &Array{}
+		for _, row := range val {
+			arr.Items = append(arr.Items, FromGo(row))
+		}
+		return arr
+	case []string:
+		arr := &Array{}
+		for _, s := range val {
+			arr.Items = append(arr.Items, s)
+		}
+		return arr
+	case []any:
+		arr := &Array{}
+		for _, x := range val {
+			arr.Items = append(arr.Items, FromGo(x))
+		}
+		return arr
+	case map[string]any:
+		d := NewDict()
+		// Insertion order of Go maps is unstable; sort for
+		// determinism.
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			d.Set(k, FromGo(val[k]))
+		}
+		return d
+	case *Array, *Dict, *NodeRef:
+		return val
+	default:
+		return fmt.Sprint(val)
+	}
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort for
+// one call site with small inputs.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ToGo converts a script value back to a Go value for storage in
+// node props.
+func ToGo(v Value) any {
+	switch val := v.(type) {
+	case *NodeRef:
+		return val.Node
+	case int64:
+		// Engine props use int for counters.
+		return int(val)
+	default:
+		return val
+	}
+}
+
+// Truthy implements GDScript truthiness: nil, false, zero, "" and
+// empty containers are false.
+func Truthy(v Value) bool {
+	switch val := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return val
+	case int64:
+		return val != 0
+	case float64:
+		return val != 0
+	case string:
+		return val != ""
+	case *Array:
+		return len(val.Items) > 0
+	case *Dict:
+		return val.Len() > 0
+	default:
+		return true
+	}
+}
+
+// Equal implements GDScript == with numeric int/float coercion.
+func Equal(a, b Value) bool {
+	if af, aok := toFloat(a); aok {
+		if bf, bok := toFloat(b); bok {
+			return af == bf
+		}
+		return false
+	}
+	switch av := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case *NodeRef:
+		bv, ok := b.(*NodeRef)
+		return ok && av.Node == bv.Node
+	case *Array:
+		bv, ok := b.(*Array)
+		if !ok || len(av.Items) != len(bv.Items) {
+			return false
+		}
+		for i := range av.Items {
+			if !Equal(av.Items[i], bv.Items[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch val := v.(type) {
+	case int64:
+		return float64(val), true
+	case float64:
+		return val, true
+	default:
+		return 0, false
+	}
+}
+
+// Str renders a value the way GDScript's str()/print do.
+func Str(v Value) string {
+	switch val := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		if val {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return fmt.Sprint(val)
+	case float64:
+		return fmt.Sprint(val)
+	case string:
+		return val
+	case *Array:
+		parts := make([]string, len(val.Items))
+		for i, x := range val.Items {
+			parts[i] = Repr(x)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *Dict:
+		parts := make([]string, 0, val.Len())
+		for _, k := range val.Keys() {
+			x, _ := val.Get(k)
+			parts = append(parts, fmt.Sprintf("%q: %s", k, Repr(x)))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *NodeRef:
+		return fmt.Sprintf("%s:<%s>", val.Node.Name(), val.Node.Kind())
+	default:
+		return fmt.Sprint(val)
+	}
+}
+
+// Repr is Str except strings are quoted (inside containers).
+func Repr(v Value) string {
+	if s, ok := v.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return Str(v)
+}
+
+// TypeName names a value's type for error messages.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "bool"
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case string:
+		return "String"
+	case *Array:
+		return "Array"
+	case *Dict:
+		return "Dictionary"
+	case *NodeRef:
+		return "Node"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}

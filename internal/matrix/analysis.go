@@ -1,0 +1,221 @@
+package matrix
+
+import "sort"
+
+// Profile summarizes the structural features of a traffic matrix that
+// the paper's learning modules train students to read by eye: how
+// many links are active, how concentrated traffic is on single
+// sources or destinations, whether the pattern is symmetric, and
+// whether hosts talk to themselves. The pattern classifier consumes a
+// Profile rather than re-deriving features ad hoc.
+type Profile struct {
+	// N is the matrix dimension (square matrices only).
+	N int
+	// NNZ is the number of active (non-zero) links.
+	NNZ int
+	// Sum is the total packet count.
+	Sum int
+	// MaxEntry is the largest single-cell packet count.
+	MaxEntry int
+	// OutFan[i] is the number of distinct destinations source i
+	// sends to; InFan[j] is the number of distinct sources that send
+	// to destination j.
+	OutFan, InFan []int
+	// MaxOutFan and MaxInFan are the largest fan-out/fan-in.
+	MaxOutFan, MaxInFan int
+	// DiagNNZ is the number of non-zero diagonal cells (self loops).
+	DiagNNZ int
+	// OffDiagNNZ is NNZ minus DiagNNZ.
+	OffDiagNNZ int
+	// Symmetric reports whether the matrix equals its transpose.
+	Symmetric bool
+	// ActiveSources and ActiveDests count rows/cols with any
+	// traffic.
+	ActiveSources, ActiveDests int
+	// Reciprocal counts unordered pairs {i,j}, i≠j, linked in both
+	// directions.
+	Reciprocal int
+}
+
+// NewProfile computes the structural profile of a square matrix.
+// Non-square matrices yield a zero profile with N = -1.
+func NewProfile(m *Dense) Profile {
+	if !m.IsSquare() {
+		return Profile{N: -1}
+	}
+	n := m.Rows()
+	p := Profile{
+		N:         n,
+		NNZ:       m.NNZ(),
+		Sum:       m.Sum(),
+		MaxEntry:  m.Max(),
+		OutFan:    make([]int, n),
+		InFan:     make([]int, n),
+		Symmetric: m.IsSymmetric(),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m.At(i, j)
+			if v == 0 {
+				continue
+			}
+			p.OutFan[i]++
+			p.InFan[j]++
+			if i == j {
+				p.DiagNNZ++
+			}
+			if i < j && m.At(j, i) != 0 {
+				p.Reciprocal++
+			}
+		}
+	}
+	p.OffDiagNNZ = p.NNZ - p.DiagNNZ
+	for i := 0; i < n; i++ {
+		if p.OutFan[i] > p.MaxOutFan {
+			p.MaxOutFan = p.OutFan[i]
+		}
+		if p.InFan[i] > p.MaxInFan {
+			p.MaxInFan = p.InFan[i]
+		}
+		if p.OutFan[i] > 0 {
+			p.ActiveSources++
+		}
+		if p.InFan[i] > 0 {
+			p.ActiveDests++
+		}
+	}
+	return p
+}
+
+// HotSpot identifies a vertex with unusually concentrated traffic.
+type HotSpot struct {
+	// Index is the vertex (row/column) position.
+	Index int
+	// Fan is the number of distinct peers.
+	Fan int
+	// Packets is the traffic volume through the vertex in the
+	// concentrated direction.
+	Packets int
+	// Direction is "in" for a destination supernode (many sources →
+	// one destination) or "out" for a source supernode.
+	Direction string
+}
+
+// Supernodes returns vertices whose fan-in or fan-out is at least
+// minFan, sorted by decreasing fan then index: the "supernode"
+// concept from the paper's traffic-topologies module. A vertex can
+// appear twice, once per direction.
+func Supernodes(m *Dense, minFan int) []HotSpot {
+	p := NewProfile(m)
+	if p.N < 0 {
+		return nil
+	}
+	rowSums := m.RowSums()
+	colSums := m.ColSums()
+	var hits []HotSpot
+	for i := 0; i < p.N; i++ {
+		if p.OutFan[i] >= minFan {
+			hits = append(hits, HotSpot{Index: i, Fan: p.OutFan[i], Packets: rowSums[i], Direction: "out"})
+		}
+		if p.InFan[i] >= minFan {
+			hits = append(hits, HotSpot{Index: i, Fan: p.InFan[i], Packets: colSums[i], Direction: "in"})
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Fan != hits[b].Fan {
+			return hits[a].Fan > hits[b].Fan
+		}
+		if hits[a].Index != hits[b].Index {
+			return hits[a].Index < hits[b].Index
+		}
+		return hits[a].Direction < hits[b].Direction
+	})
+	return hits
+}
+
+// IsolatedPairs returns the unordered pairs {i,j} that exchange
+// traffic only with each other (their entire fan is the pair), the
+// paper's "isolated links" topology. Self loops are ignored.
+func IsolatedPairs(m *Dense) [][2]int {
+	p := NewProfile(m)
+	if p.N < 0 {
+		return nil
+	}
+	var pairs [][2]int
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if m.At(i, j) == 0 && m.At(j, i) == 0 {
+				continue
+			}
+			if fanWithin(m, i, j) && fanWithin(m, j, i) {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// fanWithin reports whether vertex i's off-diagonal traffic (both
+// directions) touches only vertex j.
+func fanWithin(m *Dense, i, j int) bool {
+	for k := 0; k < m.Cols(); k++ {
+		if k == i || k == j {
+			continue
+		}
+		if m.At(i, k) != 0 || m.At(k, i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeHistogram returns counts[k] = number of vertices with
+// unweighted total degree k (in-fan + out-fan). The multi-temporal
+// analysis literature the paper cites studies exactly these degree
+// distributions.
+func DegreeHistogram(m *Dense) []int {
+	p := NewProfile(m)
+	if p.N < 0 {
+		return nil
+	}
+	maxDeg := 0
+	degs := make([]int, p.N)
+	for i := 0; i < p.N; i++ {
+		degs[i] = p.OutFan[i] + p.InFan[i]
+		if degs[i] > maxDeg {
+			maxDeg = degs[i]
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for _, d := range degs {
+		counts[d]++
+	}
+	return counts
+}
+
+// TopLinks returns the k heaviest (row, col, value) triples in
+// decreasing value order (ties broken by row then col). Useful for
+// "which link dominates this matrix?" quiz content.
+func TopLinks(m *Dense, k int) []Entry {
+	var all []Entry
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if v := m.At(i, j); v != 0 {
+				all = append(all, Entry{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Val != all[b].Val {
+			return all[a].Val > all[b].Val
+		}
+		if all[a].Row != all[b].Row {
+			return all[a].Row < all[b].Row
+		}
+		return all[a].Col < all[b].Col
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}

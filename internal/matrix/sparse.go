@@ -1,0 +1,265 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is a single (row, col, value) triple in a sparse matrix.
+type Entry struct {
+	Row, Col, Val int
+}
+
+// COO is a coordinate-format sparse matrix builder. Duplicate
+// coordinates are permitted and sum together on compaction, which is
+// exactly the semantics of streaming packet events into a traffic
+// matrix: each event contributes its packet count to its (src,dst)
+// cell. The netsim substrate builds COO matrices from event streams.
+type COO struct {
+	rows, cols int
+	entries    []Entry
+}
+
+// NewCOO returns an empty rows×cols COO matrix.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	return &COO{rows: rows, cols: cols}
+}
+
+// Rows returns the number of rows.
+func (c *COO) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *COO) Cols() int { return c.cols }
+
+// Len returns the number of stored triples (before duplicate
+// compaction).
+func (c *COO) Len() int { return len(c.entries) }
+
+// Add appends the triple (i, j, v). Panics when the coordinate is out
+// of range, matching Dense's behaviour.
+func (c *COO) Add(i, j, v int) {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
+	}
+	c.entries = append(c.entries, Entry{Row: i, Col: j, Val: v})
+}
+
+// Compact sorts the triples in row-major order and sums duplicates
+// in place, dropping resulting zeros. It returns the receiver for
+// chaining.
+func (c *COO) Compact() *COO {
+	if len(c.entries) == 0 {
+		return c
+	}
+	sort.Slice(c.entries, func(a, b int) bool {
+		ea, eb := c.entries[a], c.entries[b]
+		if ea.Row != eb.Row {
+			return ea.Row < eb.Row
+		}
+		return ea.Col < eb.Col
+	})
+	out := c.entries[:0]
+	for _, e := range c.entries {
+		if n := len(out); n > 0 && out[n-1].Row == e.Row && out[n-1].Col == e.Col {
+			out[n-1].Val += e.Val
+			continue
+		}
+		out = append(out, e)
+	}
+	// Drop zero-sum cells.
+	filtered := out[:0]
+	for _, e := range out {
+		if e.Val != 0 {
+			filtered = append(filtered, e)
+		}
+	}
+	c.entries = filtered
+	return c
+}
+
+// Entries returns a copy of the stored triples.
+func (c *COO) Entries() []Entry {
+	out := make([]Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// ToDense materializes the COO matrix as a Dense matrix, summing
+// duplicates.
+func (c *COO) ToDense() *Dense {
+	d := NewDense(c.rows, c.cols)
+	for _, e := range c.entries {
+		d.Add(e.Row, e.Col, e.Val)
+	}
+	return d
+}
+
+// FromDense converts a dense matrix to COO, keeping only non-zero
+// entries.
+func FromDense(d *Dense) *COO {
+	c := NewCOO(d.Rows(), d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if v := d.At(i, j); v != 0 {
+				c.Add(i, j, v)
+			}
+		}
+	}
+	return c
+}
+
+// CSR is a compressed-sparse-row matrix: the standard read-optimized
+// layout for row-oriented traversal (out-edges of each source).
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []int
+}
+
+// ToCSR compacts the COO matrix and converts it to CSR.
+func (c *COO) ToCSR() *CSR {
+	c.Compact()
+	m := &CSR{
+		rows:   c.rows,
+		cols:   c.cols,
+		rowPtr: make([]int, c.rows+1),
+		colIdx: make([]int, len(c.entries)),
+		vals:   make([]int, len(c.entries)),
+	}
+	for _, e := range c.entries {
+		m.rowPtr[e.Row+1]++
+	}
+	for i := 0; i < c.rows; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	// Entries are already row-major sorted after Compact, so a single
+	// pass fills colIdx/vals in order.
+	for k, e := range c.entries {
+		m.colIdx[k] = e.Col
+		m.vals[k] = e.Val
+		_ = k
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the value at (i, j) using binary search within the row.
+func (m *CSR) At(i, j int) int {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.vals[k]
+	}
+	return 0
+}
+
+// Row calls fn for every stored entry (j, v) in row i, in column
+// order.
+func (m *CSR) Row(i int, fn func(j, v int)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.vals[k])
+	}
+}
+
+// RowSums returns the out-degree of every source.
+func (m *CSR) RowSums() []int {
+	sums := make([]int, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k]
+		}
+		sums[i] = s
+	}
+	return sums
+}
+
+// ColSums returns the in-degree of every destination.
+func (m *CSR) ColSums() []int {
+	sums := make([]int, m.cols)
+	for k, j := range m.colIdx {
+		sums[j] += m.vals[k]
+	}
+	return sums
+}
+
+// Sum returns the total of all stored values.
+func (m *CSR) Sum() int {
+	s := 0
+	for _, v := range m.vals {
+		s += v
+	}
+	return s
+}
+
+// MatVec computes y = m·x over conventional arithmetic.
+func (m *CSR) MatVec(x []int) ([]int, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("matrix: vector length %d does not match %d columns", len(x), m.cols)
+	}
+	y := make([]int, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// ToDense materializes the CSR matrix densely.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.vals[k])
+		}
+	}
+	return d
+}
+
+// Transpose returns the CSC-equivalent as a new CSR matrix (a
+// transposed CSR is CSC of the original).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		rows:   m.cols,
+		cols:   m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, len(m.vals)),
+		vals:   make([]int, len(m.vals)),
+	}
+	for _, j := range m.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for i := 0; i < t.rows; i++ {
+		t.rowPtr[i+1] += t.rowPtr[i]
+	}
+	next := make([]int, t.rows)
+	copy(next, t.rowPtr[:t.rows])
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			pos := next[j]
+			next[j]++
+			t.colIdx[pos] = i
+			t.vals[pos] = m.vals[k]
+		}
+	}
+	return t
+}

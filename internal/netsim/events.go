@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Event is one observed flow record: src sent packets to dst at a
+// point in time. Events are the simulated counterpart of the
+// network sensor feeds the paper's GraphBLAS references aggregate
+// into hypersparse traffic matrices.
+type Event struct {
+	// Time is seconds since scenario start.
+	Time float64
+	// Src and Dst are host names.
+	Src, Dst string
+	// Packets is the packet count of the flow.
+	Packets int
+}
+
+// Trace is a time-ordered event sequence.
+type Trace []Event
+
+// Sort orders the trace by time (stable on equal stamps, preserving
+// emission order).
+func (t Trace) Sort() {
+	sort.SliceStable(t, func(i, j int) bool { return t[i].Time < t[j].Time })
+}
+
+// Duration returns the time of the last event, or 0 for an empty
+// trace.
+func (t Trace) Duration() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].Time
+}
+
+// TotalPackets sums all packets in the trace.
+func (t Trace) TotalPackets() int {
+	total := 0
+	for _, e := range t {
+		total += e.Packets
+	}
+	return total
+}
+
+// Between returns the sub-trace with t0 ≤ Time < t1, preserving
+// order.
+func (t Trace) Between(t0, t1 float64) Trace {
+	var out Trace
+	for _, e := range t {
+		if e.Time >= t0 && e.Time < t1 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Assoc aggregates the whole trace into an associative array keyed
+// by host names: the D4M view of the traffic.
+func (t Trace) Assoc() *matrix.Assoc {
+	a := matrix.NewAssoc()
+	for _, e := range t {
+		a.Add(e.Src, e.Dst, e.Packets)
+	}
+	return a
+}
+
+// Matrix aggregates the whole trace onto a network's axis. Events
+// naming unknown hosts are counted as dropped.
+func (t Trace) Matrix(net *Network) (*matrix.Dense, int) {
+	return t.Assoc().ToDense(net.Labels())
+}
+
+// Window is one aggregation interval with its traffic matrix.
+type Window struct {
+	// Start and End bound the interval [Start,End).
+	Start, End float64
+	// Matrix is the aggregated traffic.
+	Matrix *matrix.Dense
+	// Events is the number of events in the window.
+	Events int
+}
+
+// Windows splits the trace into fixed-length aggregation windows
+// over [0, horizon) — the streaming-analysis view ("spatial temporal
+// analysis" in the paper's references). A horizon of 0 uses the
+// trace duration rounded up to a whole window.
+func (t Trace) Windows(net *Network, windowLen, horizon float64) ([]Window, error) {
+	if windowLen <= 0 {
+		return nil, fmt.Errorf("netsim: window length must be positive, got %g", windowLen)
+	}
+	if horizon <= 0 {
+		horizon = t.Duration()
+		if horizon == 0 {
+			horizon = windowLen
+		}
+	}
+	var out []Window
+	for start := 0.0; start < horizon; start += windowLen {
+		end := start + windowLen
+		sub := t.Between(start, end)
+		m, _ := sub.Matrix(net)
+		out = append(out, Window{Start: start, End: end, Matrix: m, Events: len(sub)})
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package netsim simulates the network behaviours the learning
+// modules teach, at packet-event granularity. Where the paper's
+// figures are hand-drawn snapshots, netsim generates the same shapes
+// live: scripted scenarios (benign background, scanning, the
+// four-stage notional attack, the four-component DDoS) emit
+// timestamped events that aggregate into traffic matrices, which the
+// pattern classifiers then recognize. The analyst examples and the
+// Fig 9 cross-check build on this substrate.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/patterns"
+)
+
+// Role classifies a simulated host.
+type Role int
+
+// Host roles. C2 and Bot refine Adversary/External for DDoS casts.
+const (
+	RoleWorkstation Role = iota
+	RoleServer
+	RoleExternal
+	RoleAdversary
+)
+
+// roleNames holds display names in role order.
+var roleNames = [...]string{"workstation", "server", "external", "adversary"}
+
+// String returns the role's display name.
+func (r Role) String() string {
+	if r < 0 || int(r) >= len(roleNames) {
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+	return roleNames[r]
+}
+
+// Zone maps the role onto the blue/grey/red trust zones.
+func (r Role) Zone() patterns.Zone {
+	switch r {
+	case RoleWorkstation, RoleServer:
+		return patterns.ZoneBlue
+	case RoleExternal:
+		return patterns.ZoneGrey
+	default:
+		return patterns.ZoneRed
+	}
+}
+
+// Host is one simulated endpoint.
+type Host struct {
+	// Name is the axis label ("WS1", "ADV3", …).
+	Name string
+	// Role classifies the host.
+	Role Role
+}
+
+// Network is an ordered set of hosts; the order defines the traffic
+// matrix axis.
+type Network struct {
+	hosts  []Host
+	byName map[string]int
+}
+
+// NewNetwork builds a network from hosts, rejecting duplicate
+// names.
+func NewNetwork(hosts []Host) (*Network, error) {
+	n := &Network{byName: make(map[string]int, len(hosts))}
+	for _, h := range hosts {
+		if h.Name == "" {
+			return nil, fmt.Errorf("netsim: host with empty name")
+		}
+		if _, dup := n.byName[h.Name]; dup {
+			return nil, fmt.Errorf("netsim: duplicate host %q", h.Name)
+		}
+		n.byName[h.Name] = len(n.hosts)
+		n.hosts = append(n.hosts, h)
+	}
+	if len(n.hosts) == 0 {
+		return nil, fmt.Errorf("netsim: empty network")
+	}
+	return n, nil
+}
+
+// StandardNetwork returns the paper's canonical 10-host network:
+// three workstations, one server, two externals, four adversaries —
+// matching StandardLabels10 position for position.
+func StandardNetwork() *Network {
+	n, err := NewNetwork([]Host{
+		{Name: "WS1", Role: RoleWorkstation},
+		{Name: "WS2", Role: RoleWorkstation},
+		{Name: "WS3", Role: RoleWorkstation},
+		{Name: "SRV1", Role: RoleServer},
+		{Name: "EXT1", Role: RoleExternal},
+		{Name: "EXT2", Role: RoleExternal},
+		{Name: "ADV1", Role: RoleAdversary},
+		{Name: "ADV2", Role: RoleAdversary},
+		{Name: "ADV3", Role: RoleAdversary},
+		{Name: "ADV4", Role: RoleAdversary},
+	})
+	if err != nil {
+		panic(err) // static host list cannot fail
+	}
+	return n
+}
+
+// Len returns the number of hosts.
+func (n *Network) Len() int { return len(n.hosts) }
+
+// Host returns the i-th host.
+func (n *Network) Host(i int) Host { return n.hosts[i] }
+
+// Labels returns the axis label list in order.
+func (n *Network) Labels() []string {
+	out := make([]string, len(n.hosts))
+	for i, h := range n.hosts {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// Index returns the position of a host name.
+func (n *Network) Index(name string) (int, bool) {
+	i, ok := n.byName[name]
+	return i, ok
+}
+
+// ByRole returns the names of all hosts with the role, in order.
+func (n *Network) ByRole(r Role) []string {
+	var out []string
+	for _, h := range n.hosts {
+		if h.Role == r {
+			out = append(out, h.Name)
+		}
+	}
+	return out
+}
+
+// Zones derives the blue/grey/red zone boundaries from the host
+// order, which must group blue then grey then red (the standard
+// layout). It returns an error when roles interleave.
+func (n *Network) Zones() (patterns.Zones, error) {
+	z := patterns.Zones{N: len(n.hosts)}
+	stage := patterns.ZoneBlue
+	for i, h := range n.hosts {
+		hz := h.Role.Zone()
+		if hz < stage {
+			return patterns.Zones{}, fmt.Errorf("netsim: host %q (%v) breaks blue→grey→red ordering", h.Name, hz)
+		}
+		if hz > stage {
+			stage = hz
+		}
+		switch {
+		case hz == patterns.ZoneBlue:
+			z.BlueEnd = i + 1
+		case hz == patterns.ZoneGrey:
+			z.GreyEnd = i + 1
+		}
+	}
+	if z.GreyEnd < z.BlueEnd {
+		z.GreyEnd = z.BlueEnd
+	}
+	return z, nil
+}

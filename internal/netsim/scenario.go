@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/patterns"
+)
+
+// Scenarios script host behaviour over time and emit event traces.
+// Each mirrors one learning module so the examples can show the
+// module's pattern arising from live traffic instead of a hand-typed
+// matrix.
+
+// Background emits benign traffic for the duration: workstations
+// talk to the server and browse the externals, and the server
+// replies. eventsPerSecond controls intensity. The result is the
+// "random background noise" the paper suggests mixing into harder
+// exercises.
+func Background(net *Network, rng *rand.Rand, duration, eventsPerSecond float64) (Trace, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("netsim: nil random source")
+	}
+	if duration <= 0 || eventsPerSecond <= 0 {
+		return nil, fmt.Errorf("netsim: duration and rate must be positive")
+	}
+	workstations := net.ByRole(RoleWorkstation)
+	servers := net.ByRole(RoleServer)
+	externals := net.ByRole(RoleExternal)
+	if len(workstations) == 0 || len(servers) == 0 {
+		return nil, fmt.Errorf("netsim: background needs workstations and a server")
+	}
+	var trace Trace
+	n := int(duration * eventsPerSecond)
+	for k := 0; k < n; k++ {
+		t := rng.Float64() * duration
+		ws := workstations[rng.Intn(len(workstations))]
+		var dst string
+		switch {
+		case len(externals) > 0 && rng.Float64() < 0.4:
+			dst = externals[rng.Intn(len(externals))]
+		default:
+			dst = servers[rng.Intn(len(servers))]
+		}
+		packets := 1 + rng.Intn(3)
+		trace = append(trace, Event{Time: t, Src: ws, Dst: dst, Packets: packets})
+		// Most flows get a reply.
+		if rng.Float64() < 0.8 {
+			trace = append(trace, Event{Time: t + 0.01, Src: dst, Dst: ws, Packets: 1 + rng.Intn(2)})
+		}
+	}
+	trace.Sort()
+	return trace, nil
+}
+
+// Scan emits a reconnaissance sweep: one adversary probes every
+// blue host once, spread across the duration — the external
+// supernode shape appearing in live traffic.
+func Scan(net *Network, rng *rand.Rand, duration float64) (Trace, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("netsim: nil random source")
+	}
+	advs := net.ByRole(RoleAdversary)
+	if len(advs) == 0 {
+		return nil, fmt.Errorf("netsim: scan needs an adversary")
+	}
+	scanner := advs[0]
+	var targets []string
+	targets = append(targets, net.ByRole(RoleWorkstation)...)
+	targets = append(targets, net.ByRole(RoleServer)...)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("netsim: scan needs blue hosts")
+	}
+	var trace Trace
+	for k, dst := range targets {
+		t := duration * (float64(k) + rng.Float64()) / float64(len(targets))
+		trace = append(trace, Event{Time: t, Src: scanner, Dst: dst, Packets: 1})
+	}
+	trace.Sort()
+	return trace, nil
+}
+
+// AttackPhase is one timed stage of the attack scenario.
+type AttackPhase struct {
+	// Stage is the pattern-library stage this phase acts out.
+	Stage patterns.AttackStage
+	// Start and End bound the phase in seconds.
+	Start, End float64
+}
+
+// AttackScenario emits the four-stage notional attack, each stage
+// occupying a quarter of the duration. It returns the trace and the
+// phase schedule (ground truth for the analyst examples).
+func AttackScenario(net *Network, rng *rand.Rand, duration float64) (Trace, []AttackPhase, error) {
+	if rng == nil {
+		return nil, nil, fmt.Errorf("netsim: nil random source")
+	}
+	if duration <= 0 {
+		return nil, nil, fmt.Errorf("netsim: duration must be positive")
+	}
+	advs := net.ByRole(RoleAdversary)
+	exts := net.ByRole(RoleExternal)
+	blues := append(net.ByRole(RoleWorkstation), net.ByRole(RoleServer)...)
+	if len(advs) < 2 || len(exts) == 0 || len(blues) < 2 {
+		return nil, nil, fmt.Errorf("netsim: attack needs ≥2 adversaries, externals, ≥2 blue hosts")
+	}
+	quarter := duration / 4
+	phases := []AttackPhase{
+		{Stage: patterns.StagePlanning, Start: 0, End: quarter},
+		{Stage: patterns.StageStaging, Start: quarter, End: 2 * quarter},
+		{Stage: patterns.StageInfiltration, Start: 2 * quarter, End: 3 * quarter},
+		{Stage: patterns.StageLateral, Start: 3 * quarter, End: duration},
+	}
+	var trace Trace
+	emit := func(t float64, src, dst string, packets int) {
+		trace = append(trace, Event{Time: t, Src: src, Dst: dst, Packets: packets})
+	}
+	jitter := func(p AttackPhase) float64 {
+		return p.Start + rng.Float64()*(p.End-p.Start)
+	}
+	// Planning: adversaries coordinate pairwise in red space.
+	for round := 0; round < 3; round++ {
+		for i := range advs {
+			j := (i + 1) % len(advs)
+			t := jitter(phases[0])
+			emit(t, advs[i], advs[j], 1+rng.Intn(2))
+			emit(t+0.01, advs[j], advs[i], 1)
+		}
+	}
+	// Staging: each adversary provisions a greyspace host.
+	for round := 0; round < 3; round++ {
+		for i, adv := range advs {
+			g := exts[i%len(exts)]
+			t := jitter(phases[1])
+			emit(t, adv, g, 2)
+			emit(t+0.01, g, adv, 1)
+		}
+	}
+	// Infiltration: staged greyspace hosts push into blue space.
+	for round := 0; round < 3; round++ {
+		for i, g := range exts {
+			b := blues[i%len(blues)]
+			t := jitter(phases[2])
+			emit(t, g, b, 2)
+			emit(t+0.01, b, g, 1)
+		}
+	}
+	// Lateral movement: the foothold spreads between blue hosts.
+	for round := 0; round < 3; round++ {
+		for i := 0; i+1 < len(blues); i++ {
+			t := jitter(phases[3])
+			emit(t, blues[i], blues[i+1], 2)
+			emit(t+0.01, blues[i+1], blues[i], 1)
+		}
+	}
+	trace.Sort()
+	return trace, phases, nil
+}
+
+// DDoSPhase is one timed component of the DDoS scenario.
+type DDoSPhase struct {
+	// Component is the pattern-library component this phase acts
+	// out.
+	Component patterns.DDoSComponent
+	// Start and End bound the phase in seconds.
+	Start, End float64
+}
+
+// DDoSScenario emits the four-component DDoS: C2 coordination,
+// identical C2→bot instructions, the flood on the victim server,
+// and the backscatter of replies. Roles follow the pattern
+// library's standard cast so the classifier's ground truth matches.
+func DDoSScenario(net *Network, rng *rand.Rand, duration float64) (Trace, []DDoSPhase, error) {
+	if rng == nil {
+		return nil, nil, fmt.Errorf("netsim: nil random source")
+	}
+	if duration <= 0 {
+		return nil, nil, fmt.Errorf("netsim: duration must be positive")
+	}
+	zones, err := net.Zones()
+	if err != nil {
+		return nil, nil, err
+	}
+	roles, err := patterns.AssignDDoSRoles(zones)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := net.Labels()
+	name := func(i int) string { return labels[i] }
+	quarter := duration / 4
+	phases := []DDoSPhase{
+		{Component: patterns.DDoSC2, Start: 0, End: quarter},
+		{Component: patterns.DDoSBotnet, Start: quarter, End: 2 * quarter},
+		{Component: patterns.DDoSAttack, Start: 2 * quarter, End: 3 * quarter},
+		{Component: patterns.DDoSBackscatter, Start: 3 * quarter, End: duration},
+	}
+	var trace Trace
+	emit := func(t float64, src, dst string, packets int) {
+		trace = append(trace, Event{Time: t, Src: src, Dst: dst, Packets: packets})
+	}
+	jitter := func(p DDoSPhase) float64 {
+		return p.Start + rng.Float64()*(p.End-p.Start)
+	}
+	// C2 sync.
+	for round := 0; round < 4; round++ {
+		for _, i := range roles.C2 {
+			for _, j := range roles.C2 {
+				if i != j {
+					emit(jitter(phases[0]), name(i), name(j), 1+rng.Intn(2))
+				}
+			}
+		}
+	}
+	// Identical instructions to every bot.
+	for round := 0; round < 2; round++ {
+		for _, c2 := range roles.C2 {
+			for _, bot := range roles.Bots {
+				emit(jitter(phases[1]), name(c2), name(bot), 2)
+			}
+		}
+	}
+	// The flood: every bot hammers the victim.
+	for round := 0; round < 8; round++ {
+		for _, bot := range roles.Bots {
+			emit(jitter(phases[2]), name(bot), name(roles.Victim), 3+rng.Intn(4))
+		}
+	}
+	// Backscatter: the victim replies to the illegitimate traffic.
+	for round := 0; round < 3; round++ {
+		for _, bot := range roles.Bots {
+			emit(jitter(phases[3]), name(roles.Victim), name(bot), 1)
+		}
+	}
+	trace.Sort()
+	return trace, phases, nil
+}

@@ -1,0 +1,128 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Notional attack stages (Fig 7): "First is the planning stage,
+// which is done in adversarial space. Second is staging, which takes
+// place in greyspace. Third is the infiltration stage, which happens
+// at the border between grey and blue space. The final stage is
+// lateral movement, which happens inside blue space."
+
+// AttackStage enumerates the four stages.
+type AttackStage int
+
+const (
+	// StagePlanning is coordination inside red space (Fig 7a).
+	StagePlanning AttackStage = iota
+	// StageStaging is adversaries provisioning greyspace
+	// infrastructure (Fig 7b).
+	StageStaging
+	// StageInfiltration is greyspace hosts crossing into blue space
+	// (Fig 7c).
+	StageInfiltration
+	// StageLateral is movement between blue hosts (Fig 7d).
+	StageLateral
+)
+
+// attackStageNames holds display names in stage order.
+var attackStageNames = [...]string{"planning", "staging", "infiltration", "lateral movement"}
+
+// String returns the stage's display name.
+func (s AttackStage) String() string {
+	if s < 0 || int(s) >= len(attackStageNames) {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return attackStageNames[s]
+}
+
+// AttackStages lists the stages in lifecycle order.
+var AttackStages = []AttackStage{StagePlanning, StageStaging, StageInfiltration, StageLateral}
+
+// Attack builds the traffic matrix of one attack stage on the given
+// zones. The weight parameter scales packet counts (1–3 keeps the
+// display within the paper's guidance).
+func Attack(z Zones, stage AttackStage, weight int) (*matrix.Dense, error) {
+	if !z.Valid() {
+		return nil, fmt.Errorf("patterns: invalid zones %+v", z)
+	}
+	if weight < 1 {
+		return nil, fmt.Errorf("patterns: weight must be positive, got %d", weight)
+	}
+	blue0, blue1 := z.Indices(ZoneBlue)
+	grey0, grey1 := z.Indices(ZoneGrey)
+	red0, red1 := z.Indices(ZoneRed)
+	m := matrix.NewSquare(z.N)
+	switch stage {
+	case StagePlanning:
+		// Adversaries coordinate pairwise in red space: a ring of
+		// communication among the red hosts.
+		if red1-red0 < 2 {
+			return nil, fmt.Errorf("patterns: planning needs ≥2 red hosts, zones have %d", red1-red0)
+		}
+		for i := red0; i < red1; i++ {
+			j := i + 1
+			if j == red1 {
+				j = red0
+			}
+			m.Set(i, j, weight)
+			m.Set(j, i, weight)
+		}
+	case StageStaging:
+		// Each adversary provisions a greyspace host: red → grey
+		// fan-out with acknowledgements back.
+		if red1 == red0 || grey1 == grey0 {
+			return nil, fmt.Errorf("patterns: staging needs red and grey hosts")
+		}
+		for k, i := 0, red0; i < red1; i, k = i+1, k+1 {
+			g := grey0 + k%(grey1-grey0)
+			m.Set(i, g, weight+1)
+			m.Set(g, i, weight)
+		}
+	case StageInfiltration:
+		// Staged greyspace hosts push into blue space across the
+		// border.
+		if grey1 == grey0 || blue1 == blue0 {
+			return nil, fmt.Errorf("patterns: infiltration needs grey and blue hosts")
+		}
+		for k, g := 0, grey0; g < grey1; g, k = g+1, k+1 {
+			b := blue0 + k%(blue1-blue0)
+			m.Set(g, b, weight+1)
+			m.Set(b, g, weight)
+		}
+	case StageLateral:
+		// The foothold spreads between blue hosts: a chain from the
+		// entry workstation through the rest of blue space.
+		if blue1-blue0 < 2 {
+			return nil, fmt.Errorf("patterns: lateral movement needs ≥2 blue hosts")
+		}
+		for i := blue0; i < blue1-1; i++ {
+			m.Set(i, i+1, weight+1)
+			m.Set(i+1, i, weight)
+		}
+	default:
+		return nil, fmt.Errorf("patterns: unknown attack stage %d", stage)
+	}
+	return m, nil
+}
+
+// AttackCampaign returns the sum of all four stages: the paper's
+// suggestion that "they could all be combined together … for a
+// student to analyze and determine what is happening in the network."
+func AttackCampaign(z Zones, weight int) (*matrix.Dense, error) {
+	total := matrix.NewSquare(z.N)
+	for _, stage := range AttackStages {
+		m, err := Attack(z, stage, weight)
+		if err != nil {
+			return nil, err
+		}
+		total, err = total.AddMatrix(m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,257 @@
+package patterns
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Family groups catalog entries by the learning module they belong
+// to.
+type Family string
+
+// The four module families of Figs 6–10.
+const (
+	FamilyTopology Family = "traffic topologies"
+	FamilyAttack   Family = "notional attack"
+	FamilySDD      Family = "security defense deterrence"
+	FamilyDDoS     Family = "ddos attack"
+	FamilyGraph    Family = "graph theory"
+)
+
+// Entry is one figure panel: a named, reproducible traffic pattern
+// with its color overlay and the quiz choices its module offers.
+type Entry struct {
+	// ID is a stable slug, e.g. "fig6a-isolated-links".
+	ID string
+	// Figure is the paper panel, e.g. "6a".
+	Figure string
+	// Title is the concept the panel teaches (also the correct quiz
+	// answer).
+	Title string
+	// Family is the module the panel belongs to.
+	Family Family
+	// Hint points at the explanatory reference the figure caption
+	// cites.
+	Hint string
+	// Build generates the traffic matrix and its color overlay on
+	// the standard 10-label axis.
+	Build func() (*matrix.Dense, *matrix.Dense, error)
+}
+
+// catalog holds every figure panel in paper order.
+var catalog = []Entry{
+	// ——— Fig 6: basic traffic topologies ———
+	{
+		ID: "fig6a-isolated-links", Figure: "6a", Title: "isolated links",
+		Family: FamilyTopology, Hint: hintScaling,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := IsolatedLinks(StandardZones10.N, 4, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, HighlightColors(m, 1), nil
+		},
+	},
+	{
+		ID: "fig6b-single-links", Figure: "6b", Title: "single links",
+		Family: FamilyTopology, Hint: hintScaling,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := SingleLinks(StandardZones10.N, 5, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, HighlightColors(m, 1), nil
+		},
+	},
+	{
+		ID: "fig6c-internal-supernode", Figure: "6c", Title: "internal supernode",
+		Family: FamilyTopology, Hint: hintScaling,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := InternalSupernode(StandardZones10, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, HighlightColors(m, 1), nil
+		},
+	},
+	{
+		ID: "fig6d-external-supernode", Figure: "6d", Title: "external supernode",
+		Family: FamilyTopology, Hint: hintScaling,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := ExternalSupernode(StandardZones10, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, HighlightColors(m, 2), nil
+		},
+	},
+
+	// ——— Fig 7: notional attack ———
+	attackEntry("7a", StagePlanning),
+	attackEntry("7b", StageStaging),
+	attackEntry("7c", StageInfiltration),
+	attackEntry("7d", StageLateral),
+
+	// ——— Fig 8: security, defense, deterrence ———
+	sddEntry("8a", PostureSecurity),
+	sddEntry("8b", PostureDefense),
+	sddEntry("8c", PostureDeterrence),
+
+	// ——— Fig 9: DDoS ———
+	ddosEntry("9a", DDoSC2),
+	ddosEntry("9b", DDoSBotnet),
+	ddosEntry("9c", DDoSAttack),
+	ddosEntry("9d", DDoSBackscatter),
+
+	// ——— Fig 10: graph theory ———
+	graphEntry("10a", "star", func() (*matrix.Dense, error) { return Star(10, 0) }),
+	graphEntry("10b", "clique", func() (*matrix.Dense, error) { return Clique(10, 10) }),
+	graphEntry("10c", "bipartite", func() (*matrix.Dense, error) { return Bipartite(10, 5, 5) }),
+	graphEntry("10d", "tree", func() (*matrix.Dense, error) { return Tree(10) }),
+	graphEntry("10e", "ring", func() (*matrix.Dense, error) { return Ring(10) }),
+	graphEntry("10f", "mesh", func() (*matrix.Dense, error) { return Mesh(10, 2, 5) }),
+	graphEntry("10g", "toroidal mesh", func() (*matrix.Dense, error) { return ToroidalMesh(10, 2, 5) }),
+	graphEntry("10h", "self loop", func() (*matrix.Dense, error) { return SelfLoops(10, 6) }),
+	graphEntry("10i", "triangle", func() (*matrix.Dense, error) { return Triangle(10, 0, 1, 2) }),
+}
+
+// External references the figure captions point students at.
+const (
+	hintScaling = "Kepner et al., 'Multi-temporal analysis and scaling relations of 100,000,000,000 network packets', HPEC 2020"
+	hintZeroBot = "Kepner et al., 'Zero Botnets: An observe-pursue-counter approach', Belfer Center Reports 2021"
+	hintTEDx    = "Kepner, 'Beyond Zero Botnets: Web3 Enabled Observe-Pursue-Counter Approach', TEDxBoston 2022"
+)
+
+// attackEntry builds the catalog entry for one attack stage.
+func attackEntry(figure string, stage AttackStage) Entry {
+	return Entry{
+		ID:     fmt.Sprintf("fig%s-%s", figure, slugify(stage.String())),
+		Figure: figure, Title: stage.String(), Family: FamilyAttack,
+		Hint: hintTEDx + "; " + hintZeroBot,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := Attack(StandardZones10, stage, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, StandardZones10.ZoneColors(m), nil
+		},
+	}
+}
+
+// sddEntry builds the catalog entry for one protection posture.
+func sddEntry(figure string, posture Posture) Entry {
+	return Entry{
+		ID:     fmt.Sprintf("fig%s-%s", figure, slugify(posture.String())),
+		Figure: figure, Title: posture.String(), Family: FamilySDD,
+		Hint: hintTEDx + "; " + hintZeroBot,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := SDD(StandardZones10, posture, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, StandardZones10.ZoneColors(m), nil
+		},
+	}
+}
+
+// ddosEntry builds the catalog entry for one DDoS component.
+func ddosEntry(figure string, component DDoSComponent) Entry {
+	return Entry{
+		ID:     fmt.Sprintf("fig%s-%s", figure, slugify(component.String())),
+		Figure: figure, Title: component.String(), Family: FamilyDDoS,
+		Hint: hintZeroBot,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := DDoS(StandardZones10, component, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, StandardZones10.ZoneColors(m), nil
+		},
+	}
+}
+
+// graphEntry builds the catalog entry for one graph-theory shape.
+func graphEntry(figure, title string, build func() (*matrix.Dense, error)) Entry {
+	return Entry{
+		ID:     fmt.Sprintf("fig%s-%s", figure, slugify(title)),
+		Figure: figure, Title: title, Family: FamilyGraph,
+		Build: func() (*matrix.Dense, *matrix.Dense, error) {
+			m, err := build()
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, HighlightColors(m, 1), nil
+		},
+	}
+}
+
+// slugify lowercases and hyphenates a display name for use in IDs.
+func slugify(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == ' ', r == '-', r == '_':
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+// Catalog returns every figure panel in paper order.
+func Catalog() []Entry {
+	out := make([]Entry, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// ByFamily returns the catalog entries of one family, in paper
+// order.
+func ByFamily(f Family) []Entry {
+	var out []Entry
+	for _, e := range catalog {
+		if e.Family == f {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Lookup finds a catalog entry by ID.
+func Lookup(id string) (Entry, bool) {
+	for _, e := range catalog {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Families returns the distinct families in paper order.
+func Families() []Family {
+	seen := make(map[Family]bool)
+	var out []Family
+	for _, e := range catalog {
+		if !seen[e.Family] {
+			seen[e.Family] = true
+			out = append(out, e.Family)
+		}
+	}
+	return out
+}
+
+// FamilyTitles returns the sorted distinct titles within a family:
+// the answer pool its quiz questions draw distractors from.
+func FamilyTitles(f Family) []string {
+	var titles []string
+	for _, e := range ByFamily(f) {
+		titles = append(titles, e.Title)
+	}
+	sort.Strings(titles)
+	return titles
+}

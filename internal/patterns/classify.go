@@ -1,0 +1,492 @@
+package patterns
+
+import (
+	"repro/internal/matrix"
+)
+
+// The classifiers answer, mechanically, the question every module
+// asks the student: "Which choice is the displayed traffic pattern
+// most relevant to?" Tests use them to prove each generated figure is
+// recognizably the behaviour it teaches; the analyst examples use
+// them on simulated live traffic.
+
+// GraphKind enumerates the graph-theory shapes of Fig 10.
+type GraphKind int
+
+const (
+	// GraphUnknown is returned when no shape matches.
+	GraphUnknown GraphKind = iota
+	// GraphStar is a hub linked to every other active vertex.
+	GraphStar
+	// GraphClique is a complete subgraph (k ≥ 4; see GraphTriangle).
+	GraphClique
+	// GraphBipartite is a complete bipartite graph.
+	GraphBipartite
+	// GraphTree is a connected acyclic graph that is not a star.
+	GraphTree
+	// GraphRing is a single cycle over ≥ 4 vertices.
+	GraphRing
+	// GraphMesh is a non-regular triangle-free grid.
+	GraphMesh
+	// GraphTorus is a regular triangle-free grid with wraparound.
+	GraphTorus
+	// GraphSelfLoop is diagonal-only traffic.
+	GraphSelfLoop
+	// GraphTriangle is a single 3-cycle.
+	GraphTriangle
+)
+
+// graphKindNames holds display names indexed by GraphKind.
+var graphKindNames = [...]string{
+	"unknown", "star", "clique", "bipartite", "tree", "ring",
+	"mesh", "toroidal mesh", "self loop", "triangle",
+}
+
+// String returns the kind's display name.
+func (k GraphKind) String() string {
+	if k < 0 || int(k) >= len(graphKindNames) {
+		return "unknown"
+	}
+	return graphKindNames[k]
+}
+
+// undirected captures the simple undirected graph underlying a
+// traffic matrix: the view the Fig 10 shapes are defined on.
+type undirected struct {
+	n      int
+	adj    [][]bool
+	degree []int
+	active []int
+	edges  int
+}
+
+// newUndirected symmetrizes the off-diagonal pattern of m.
+func newUndirected(m *matrix.Dense) *undirected {
+	n := m.Rows()
+	u := &undirected{
+		n:      n,
+		adj:    make([][]bool, n),
+		degree: make([]int, n),
+	}
+	for i := range u.adj {
+		u.adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.At(i, j) != 0 || m.At(j, i) != 0 {
+				u.adj[i][j] = true
+				u.adj[j][i] = true
+				u.degree[i]++
+				u.degree[j]++
+				u.edges++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if u.degree[i] > 0 {
+			u.active = append(u.active, i)
+		}
+	}
+	return u
+}
+
+// connected reports whether the active vertices form one component.
+func (u *undirected) connected() bool {
+	if len(u.active) == 0 {
+		return false
+	}
+	seen := make([]bool, u.n)
+	queue := []int{u.active[0]}
+	seen[u.active[0]] = true
+	count := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		count++
+		for w := 0; w < u.n; w++ {
+			if u.adj[v][w] && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == len(u.active)
+}
+
+// bipartition 2-colors the active vertices by BFS. It returns the
+// two parts and whether the graph is bipartite.
+func (u *undirected) bipartition() (a, b []int, ok bool) {
+	color := make([]int, u.n) // 0 unvisited, 1/2 the parts
+	for _, start := range u.active {
+		if color[start] != 0 {
+			continue
+		}
+		color[start] = 1
+		queue := []int{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for w := 0; w < u.n; w++ {
+				if !u.adj[v][w] {
+					continue
+				}
+				if color[w] == 0 {
+					color[w] = 3 - color[v]
+					queue = append(queue, w)
+				} else if color[w] == color[v] {
+					return nil, nil, false
+				}
+			}
+		}
+	}
+	for _, v := range u.active {
+		if color[v] == 1 {
+			a = append(a, v)
+		} else {
+			b = append(b, v)
+		}
+	}
+	return a, b, true
+}
+
+// triangleFree reports whether the graph contains no 3-cycles.
+func (u *undirected) triangleFree() bool {
+	for _, a := range u.active {
+		for _, b := range u.active {
+			if b <= a || !u.adj[a][b] {
+				continue
+			}
+			for _, c := range u.active {
+				if c <= b || !u.adj[b][c] {
+					continue
+				}
+				if u.adj[a][c] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// regular returns the common degree of all active vertices, or -1
+// when degrees differ.
+func (u *undirected) regular() int {
+	d := -1
+	for _, v := range u.active {
+		if d == -1 {
+			d = u.degree[v]
+		} else if u.degree[v] != d {
+			return -1
+		}
+	}
+	return d
+}
+
+// ClassifyGraph identifies which Fig 10 shape a traffic matrix
+// draws. Ambiguous degenerate cases resolve in the order the checks
+// run (documented on each branch); anything unrecognized returns
+// GraphUnknown.
+func ClassifyGraph(m *matrix.Dense) GraphKind {
+	if !m.IsSquare() || m.NNZ() == 0 {
+		return GraphUnknown
+	}
+	// Self loop: every non-zero cell sits on the diagonal.
+	diagOnly := true
+	for i := 0; i < m.Rows() && diagOnly; i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if i != j && m.At(i, j) != 0 {
+				diagOnly = false
+				break
+			}
+		}
+	}
+	if diagOnly {
+		return GraphSelfLoop
+	}
+
+	u := newUndirected(m)
+	k := len(u.active)
+	if k == 0 {
+		return GraphUnknown
+	}
+
+	// Triangle: exactly three mutually linked vertices. Checked
+	// before clique so K₃ reads as the triangle lesson.
+	if k == 3 && u.edges == 3 {
+		return GraphTriangle
+	}
+	// Clique: all pairs linked, k ≥ 4.
+	if k >= 4 && u.edges == k*(k-1)/2 {
+		return GraphClique
+	}
+	// Star: one hub of degree k-1, all others degree 1. Checked
+	// before tree (a star is a tree) and before bipartite (a star
+	// is K₁,ₖ).
+	if k >= 4 && u.edges == k-1 {
+		hubs, leaves := 0, 0
+		for _, v := range u.active {
+			switch u.degree[v] {
+			case k - 1:
+				hubs++
+			case 1:
+				leaves++
+			}
+		}
+		if hubs == 1 && leaves == k-1 {
+			return GraphStar
+		}
+	}
+	if !u.connected() {
+		return GraphUnknown
+	}
+	// Tree: connected and acyclic.
+	if u.edges == k-1 {
+		return GraphTree
+	}
+	// Ring: a single cycle over ≥ 4 vertices (a 3-cycle already
+	// classified as triangle; a 2×2 mesh is also a 4-cycle and
+	// resolves here as ring).
+	if u.edges == k && u.regular() == 2 {
+		return GraphRing
+	}
+	// Complete bipartite: 2-colorable with every cross pair linked.
+	// Checked before torus because K₃,₃ is regular too.
+	if a, b, ok := u.bipartition(); ok && len(a) >= 2 && len(b) >= 2 && u.edges == len(a)*len(b) {
+		return GraphBipartite
+	}
+	// A torus is regular of degree 3 (when one grid dimension is 2)
+	// or 4; it need not be triangle-free (wrapping a length-3
+	// dimension creates 3-cycles). Cliques, rings, and complete
+	// bipartite graphs — the other regular shapes — were classified
+	// above.
+	if d := u.regular(); d == 3 || d == 4 {
+		return GraphTorus
+	}
+	// A bounded mesh is triangle-free with corner vertices of
+	// smaller degree than interior ones.
+	if u.triangleFree() {
+		minDeg, maxDeg := u.n, 0
+		for _, v := range u.active {
+			if u.degree[v] < minDeg {
+				minDeg = u.degree[v]
+			}
+			if u.degree[v] > maxDeg {
+				maxDeg = u.degree[v]
+			}
+		}
+		if minDeg >= 2 && maxDeg <= 4 && maxDeg > minDeg {
+			return GraphMesh
+		}
+	}
+	return GraphUnknown
+}
+
+// TopologyKind enumerates the Fig 6 basic traffic topologies.
+type TopologyKind int
+
+const (
+	// TopologyUnknown is returned when no topology matches.
+	TopologyUnknown TopologyKind = iota
+	// TopologyIsolatedLinks is disjoint reciprocated pairs.
+	TopologyIsolatedLinks
+	// TopologySingleLinks is disjoint unreciprocated links.
+	TopologySingleLinks
+	// TopologyInternalSupernode is a high-fan hub in blue space.
+	TopologyInternalSupernode
+	// TopologyExternalSupernode is a high-fan hub outside blue
+	// space.
+	TopologyExternalSupernode
+)
+
+// topologyNames holds display names indexed by TopologyKind.
+var topologyNames = [...]string{
+	"unknown", "isolated links", "single links",
+	"internal supernode", "external supernode",
+}
+
+// String returns the topology's display name.
+func (k TopologyKind) String() string {
+	if k < 0 || int(k) >= len(topologyNames) {
+		return "unknown"
+	}
+	return topologyNames[k]
+}
+
+// SupernodeFanThreshold is the minimum distinct-peer count that makes
+// a vertex a supernode rather than an ordinary busy host.
+const SupernodeFanThreshold = 3
+
+// ClassifyTopology identifies which Fig 6 topology a traffic matrix
+// shows, using zones to split internal from external supernodes.
+func ClassifyTopology(m *matrix.Dense, z Zones) TopologyKind {
+	if !m.IsSquare() || m.Rows() != z.N || m.NNZ() == 0 {
+		return TopologyUnknown
+	}
+	n := m.Rows()
+	// peers[v] is the set of distinct off-diagonal counterparties.
+	peers := make([]map[int]bool, n)
+	reciprocalOnly := true
+	anyReciprocal := false
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || m.At(i, j) == 0 {
+				continue
+			}
+			if peers[i] == nil {
+				peers[i] = make(map[int]bool)
+			}
+			if peers[j] == nil {
+				peers[j] = make(map[int]bool)
+			}
+			peers[i][j] = true
+			peers[j][i] = true
+			if m.At(j, i) != 0 {
+				anyReciprocal = true
+			} else {
+				reciprocalOnly = false
+			}
+		}
+	}
+	maxFan, hub := 0, -1
+	allFanOne := true
+	for v := 0; v < n; v++ {
+		fan := len(peers[v])
+		if fan > maxFan {
+			maxFan, hub = fan, v
+		}
+		if fan > 1 {
+			allFanOne = false
+		}
+	}
+	if maxFan >= SupernodeFanThreshold {
+		if z.Of(hub) == ZoneBlue {
+			return TopologyInternalSupernode
+		}
+		return TopologyExternalSupernode
+	}
+	if allFanOne {
+		if reciprocalOnly && anyReciprocal {
+			return TopologyIsolatedLinks
+		}
+		if !anyReciprocal {
+			return TopologySingleLinks
+		}
+	}
+	return TopologyUnknown
+}
+
+// flowFraction returns the fraction of non-zero cells whose
+// (source zone, destination zone) pair is in the signature set.
+func flowFraction(m *matrix.Dense, z Zones, signature map[[2]Zone]bool) float64 {
+	total, hits := 0, 0
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) == 0 {
+				continue
+			}
+			total++
+			if signature[[2]Zone{z.Of(i), z.Of(j)}] {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// attackSignatures maps each stage to the zone flows that
+// characterize it.
+var attackSignatures = map[AttackStage]map[[2]Zone]bool{
+	StagePlanning:     {{ZoneRed, ZoneRed}: true},
+	StageStaging:      {{ZoneRed, ZoneGrey}: true, {ZoneGrey, ZoneRed}: true},
+	StageInfiltration: {{ZoneGrey, ZoneBlue}: true, {ZoneBlue, ZoneGrey}: true},
+	StageLateral:      {{ZoneBlue, ZoneBlue}: true},
+}
+
+// ClassifyAttackStage returns the attack stage whose signature flows
+// explain the largest fraction of the matrix's links, with that
+// fraction as a confidence. Pure single-stage matrices score 1.0;
+// a combined campaign scores the dominant stage lower.
+func ClassifyAttackStage(m *matrix.Dense, z Zones) (AttackStage, float64) {
+	best, bestScore := StagePlanning, -1.0
+	for _, stage := range AttackStages {
+		if score := flowFraction(m, z, attackSignatures[stage]); score > bestScore {
+			best, bestScore = stage, score
+		}
+	}
+	return best, bestScore
+}
+
+// postureSignatures maps each protection posture to its zone flows.
+var postureSignatures = map[Posture]map[[2]Zone]bool{
+	PostureSecurity:   {{ZoneBlue, ZoneBlue}: true},
+	PostureDefense:    {{ZoneBlue, ZoneGrey}: true, {ZoneGrey, ZoneBlue}: true},
+	PostureDeterrence: {{ZoneBlue, ZoneRed}: true, {ZoneRed, ZoneRed}: true},
+}
+
+// ClassifyPosture returns the security/defense/deterrence concept
+// whose signature flows best explain the matrix, with the explained
+// fraction as confidence.
+func ClassifyPosture(m *matrix.Dense, z Zones) (Posture, float64) {
+	best, bestScore := PostureSecurity, -1.0
+	for _, p := range Postures {
+		if score := flowFraction(m, z, postureSignatures[p]); score > bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best, bestScore
+}
+
+// ClassifyDDoS returns the DDoS component that best explains the
+// matrix given the cast of the attack, with the explained fraction
+// as confidence.
+func ClassifyDDoS(m *matrix.Dense, roles DDoSRoles) (DDoSComponent, float64) {
+	inC2 := make(map[int]bool, len(roles.C2))
+	for _, v := range roles.C2 {
+		inC2[v] = true
+	}
+	inBots := make(map[int]bool, len(roles.Bots))
+	for _, v := range roles.Bots {
+		inBots[v] = true
+	}
+	match := func(component DDoSComponent, i, j int) bool {
+		switch component {
+		case DDoSC2:
+			return inC2[i] && inC2[j]
+		case DDoSBotnet:
+			return inC2[i] && inBots[j]
+		case DDoSAttack:
+			return inBots[i] && j == roles.Victim
+		case DDoSBackscatter:
+			return i == roles.Victim && inBots[j]
+		default:
+			return false
+		}
+	}
+	best, bestScore := DDoSC2, -1.0
+	for _, component := range DDoSComponents {
+		total, hits := 0, 0
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if m.At(i, j) == 0 {
+					continue
+				}
+				total++
+				if match(component, i, j) {
+					hits++
+				}
+			}
+		}
+		score := 0.0
+		if total > 0 {
+			score = float64(hits) / float64(total)
+		}
+		if score > bestScore {
+			best, bestScore = component, score
+		}
+	}
+	return best, bestScore
+}

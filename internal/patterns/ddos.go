@@ -1,0 +1,167 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// DDoS components (Fig 9): command-and-control servers in red space,
+// identical C2→client communications, the flood from the clients to
+// the blue servers, and the backscatter of replies to the
+// illegitimate traffic.
+
+// DDoSComponent enumerates the four components.
+type DDoSComponent int
+
+const (
+	// DDoSC2 is communication among command-and-control servers in
+	// red space (Fig 9a).
+	DDoSC2 DDoSComponent = iota
+	// DDoSBotnet is the C2 servers instructing their clients with
+	// identical messages (Fig 9b).
+	DDoSBotnet
+	// DDoSAttack is the flood from botnet clients to the blue
+	// servers (Fig 9c).
+	DDoSAttack
+	// DDoSBackscatter is the servers replying to the illegitimate
+	// traffic (Fig 9d).
+	DDoSBackscatter
+)
+
+// ddosNames holds display names in component order.
+var ddosNames = [...]string{"command and control", "botnet clients", "DDoS attack", "backscatter"}
+
+// String returns the component's display name.
+func (c DDoSComponent) String() string {
+	if c < 0 || int(c) >= len(ddosNames) {
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+	return ddosNames[c]
+}
+
+// DDoSComponents lists the components in the paper's order.
+var DDoSComponents = []DDoSComponent{DDoSC2, DDoSBotnet, DDoSAttack, DDoSBackscatter}
+
+// DDoSRoles assigns zone indices to the cast of a DDoS on the given
+// zones: the first half of red space are C2 servers, the rest of red
+// space plus all of grey space are botnet clients, and the last blue
+// index is the victim server.
+type DDoSRoles struct {
+	// C2 are command-and-control hosts (red space).
+	C2 []int
+	// Bots are botnet clients (compromised grey hosts plus the
+	// remaining red hosts).
+	Bots []int
+	// Victim is the targeted blue server.
+	Victim int
+}
+
+// AssignDDoSRoles derives the standard role assignment from zones.
+func AssignDDoSRoles(z Zones) (DDoSRoles, error) {
+	if !z.Valid() {
+		return DDoSRoles{}, fmt.Errorf("patterns: invalid zones %+v", z)
+	}
+	red0, red1 := z.Indices(ZoneRed)
+	grey0, grey1 := z.Indices(ZoneGrey)
+	if red1-red0 < 2 {
+		return DDoSRoles{}, fmt.Errorf("patterns: DDoS needs ≥2 red hosts, zones have %d", red1-red0)
+	}
+	if z.BlueEnd == 0 {
+		return DDoSRoles{}, fmt.Errorf("patterns: DDoS needs a blue victim")
+	}
+	nC2 := (red1 - red0) / 2
+	if nC2 < 1 {
+		nC2 = 1
+	}
+	roles := DDoSRoles{Victim: z.BlueEnd - 1}
+	for i := red0; i < red0+nC2; i++ {
+		roles.C2 = append(roles.C2, i)
+	}
+	for i := red0 + nC2; i < red1; i++ {
+		roles.Bots = append(roles.Bots, i)
+	}
+	for i := grey0; i < grey1; i++ {
+		roles.Bots = append(roles.Bots, i)
+	}
+	if len(roles.Bots) == 0 {
+		return DDoSRoles{}, fmt.Errorf("patterns: DDoS role assignment produced no bots")
+	}
+	return roles, nil
+}
+
+// DDoS builds the traffic matrix of one DDoS component using the
+// standard role assignment.
+func DDoS(z Zones, component DDoSComponent, weight int) (*matrix.Dense, error) {
+	roles, err := AssignDDoSRoles(z)
+	if err != nil {
+		return nil, err
+	}
+	return DDoSWithRoles(z.N, roles, component, weight)
+}
+
+// DDoSWithRoles builds the traffic matrix of one DDoS component for
+// an explicit cast.
+func DDoSWithRoles(n int, roles DDoSRoles, component DDoSComponent, weight int) (*matrix.Dense, error) {
+	if weight < 1 {
+		return nil, fmt.Errorf("patterns: weight must be positive, got %d", weight)
+	}
+	m := matrix.NewSquare(n)
+	switch component {
+	case DDoSC2:
+		// C2 servers coordinate pairwise.
+		if len(roles.C2) < 2 {
+			return nil, fmt.Errorf("patterns: C2 component needs ≥2 C2 hosts")
+		}
+		for _, i := range roles.C2 {
+			for _, j := range roles.C2 {
+				if i != j {
+					m.Set(i, j, weight)
+				}
+			}
+		}
+	case DDoSBotnet:
+		// "The communication from the C2 servers to the individual
+		// clients can be represented by identical communications
+		// between the C2 nodes and the botnet clients."
+		for _, c2 := range roles.C2 {
+			for _, bot := range roles.Bots {
+				m.Set(c2, bot, weight)
+			}
+		}
+	case DDoSAttack:
+		// Every bot floods the victim; the flood is the heaviest
+		// traffic in the lesson set.
+		for _, bot := range roles.Bots {
+			m.Set(bot, roles.Victim, weight*3)
+		}
+	case DDoSBackscatter:
+		// "…followed by the backscatter when the servers reply back
+		// to the illegitimate traffic": the transpose of the attack
+		// at reply weight.
+		for _, bot := range roles.Bots {
+			m.Set(roles.Victim, bot, weight)
+		}
+	default:
+		return nil, fmt.Errorf("patterns: unknown DDoS component %d", component)
+	}
+	return m, nil
+}
+
+// DDoSCampaign sums all four components, optionally useful "combined
+// together or have background noise added to give a student even more
+// of a challenge".
+func DDoSCampaign(z Zones, weight int) (*matrix.Dense, error) {
+	total := matrix.NewSquare(z.N)
+	for _, c := range DDoSComponents {
+		m, err := DDoS(z, c, weight)
+		if err != nil {
+			return nil, err
+		}
+		total, err = total.AddMatrix(m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}

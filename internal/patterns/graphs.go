@@ -1,0 +1,179 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Graph-theory patterns (Fig 10). "Since the traffic matrix is
+// simply a matrix filled with connections between two points it can
+// represent different graphs." All generators take the matrix size n
+// and produce packet weight 1 per edge; undirected graphs are stored
+// symmetrically (an edge appears in both directions), matching how
+// the figures display them.
+
+// Star returns a star graph: vertex center linked bidirectionally to
+// every other vertex (Fig 10a uses center 0 on a 10×10 matrix).
+func Star(n, center int) (*matrix.Dense, error) {
+	if center < 0 || center >= n {
+		return nil, fmt.Errorf("patterns: star center %d out of range [0,%d)", center, n)
+	}
+	m := matrix.NewSquare(n)
+	for i := 0; i < n; i++ {
+		if i == center {
+			continue
+		}
+		m.Set(center, i, 1)
+		m.Set(i, center, 1)
+	}
+	return m, nil
+}
+
+// Clique returns a complete graph among the first k of n vertices
+// (Fig 10b uses k=n=10: every pair communicates).
+func Clique(n, k int) (*matrix.Dense, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("patterns: clique size %d out of range [2,%d]", k, n)
+	}
+	m := matrix.NewSquare(n)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Bipartite returns a complete bipartite graph between the first a
+// vertices and the next b vertices (Fig 10c uses K₅,₅ on 10
+// vertices).
+func Bipartite(n, a, b int) (*matrix.Dense, error) {
+	if a < 1 || b < 1 || a+b > n {
+		return nil, fmt.Errorf("patterns: bipartite parts %d+%d exceed %d vertices", a, b, n)
+	}
+	m := matrix.NewSquare(n)
+	for i := 0; i < a; i++ {
+		for j := a; j < a+b; j++ {
+			m.Set(i, j, 1)
+			m.Set(j, i, 1)
+		}
+	}
+	return m, nil
+}
+
+// Tree returns a complete binary tree over all n vertices in heap
+// order: vertex i links to children 2i+1 and 2i+2 (Fig 10d).
+func Tree(n int) (*matrix.Dense, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("patterns: tree needs at least 2 vertices, got %d", n)
+	}
+	m := matrix.NewSquare(n)
+	for i := 0; i < n; i++ {
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < n {
+				m.Set(i, child, 1)
+				m.Set(child, i, 1)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Ring returns a cycle over all n vertices: i links to (i+1) mod n
+// (Fig 10e).
+func Ring(n int) (*matrix.Dense, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("patterns: ring needs at least 3 vertices, got %d", n)
+	}
+	m := matrix.NewSquare(n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		m.Set(i, j, 1)
+		m.Set(j, i, 1)
+	}
+	return m, nil
+}
+
+// meshEdges sets the edges of a rows×cols grid over vertices
+// numbered row-major, optionally wrapping both dimensions (torus).
+func meshEdges(m *matrix.Dense, rows, cols int, wrap bool) {
+	id := func(r, c int) int { return r*cols + c }
+	link := func(a, b int) {
+		if a != b {
+			m.Set(a, b, 1)
+			m.Set(b, a, 1)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				link(id(r, c), id(r, c+1))
+			} else if wrap && cols > 2 {
+				link(id(r, c), id(r, 0))
+			}
+			if r+1 < rows {
+				link(id(r, c), id(r+1, c))
+			} else if wrap && rows > 2 {
+				link(id(r, c), id(0, c))
+			}
+		}
+	}
+}
+
+// Mesh returns a rows×cols grid graph over rows*cols ≤ n vertices
+// (Fig 10f uses a 2×5 grid on the 10×10 matrix).
+func Mesh(n, rows, cols int) (*matrix.Dense, error) {
+	if rows < 2 || cols < 2 || rows*cols > n {
+		return nil, fmt.Errorf("patterns: %dx%d mesh does not fit %d vertices", rows, cols, n)
+	}
+	m := matrix.NewSquare(n)
+	meshEdges(m, rows, cols, false)
+	return m, nil
+}
+
+// ToroidalMesh returns a rows×cols grid with wraparound links in any
+// dimension of length > 2 (wrapping a length-2 dimension would
+// duplicate an existing edge). Fig 10g uses 2×5.
+func ToroidalMesh(n, rows, cols int) (*matrix.Dense, error) {
+	if rows < 2 || cols < 2 || rows*cols > n {
+		return nil, fmt.Errorf("patterns: %dx%d torus does not fit %d vertices", rows, cols, n)
+	}
+	m := matrix.NewSquare(n)
+	meshEdges(m, rows, cols, true)
+	return m, nil
+}
+
+// SelfLoops returns a matrix whose only traffic is hosts talking to
+// themselves: diagonal entries for the first k vertices (Fig 10h).
+func SelfLoops(n, k int) (*matrix.Dense, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("patterns: self-loop count %d out of range [1,%d]", k, n)
+	}
+	m := matrix.NewSquare(n)
+	for i := 0; i < k; i++ {
+		m.Set(i, i, 1)
+	}
+	return m, nil
+}
+
+// Triangle returns a single 3-cycle among vertices a, b, c
+// (Fig 10i).
+func Triangle(n, a, b, c int) (*matrix.Dense, error) {
+	for _, v := range []int{a, b, c} {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("patterns: triangle vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	if a == b || b == c || a == c {
+		return nil, fmt.Errorf("patterns: triangle vertices %d,%d,%d must be distinct", a, b, c)
+	}
+	m := matrix.NewSquare(n)
+	for _, e := range [][2]int{{a, b}, {b, c}, {c, a}} {
+		m.Set(e[0], e[1], 1)
+		m.Set(e[1], e[0], 1)
+	}
+	return m, nil
+}

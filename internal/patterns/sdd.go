@@ -1,0 +1,100 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Security, defense, and deterrence (Fig 8): "A key concept in the
+// protection of any domain is the distinction between (walls-in)
+// security, (walls-out) defense, and deterrence."
+
+// Posture enumerates the three protection concepts.
+type Posture int
+
+const (
+	// PostureSecurity is walls-in: traffic stays inside blue space,
+	// "communicating with their own systems and ensuring no
+	// adversarial activity" (Fig 8a).
+	PostureSecurity Posture = iota
+	// PostureDefense is walls-out: observing greyspace "to identify
+	// threats to their network before they have the chance to enter"
+	// (Fig 8b).
+	PostureDefense
+	// PostureDeterrence is "credible activity in adversary space
+	// which arose as a response to unacceptable actions" (Fig 8c).
+	PostureDeterrence
+)
+
+// postureNames holds display names in posture order.
+var postureNames = [...]string{"security", "defense", "deterrence"}
+
+// String returns the posture's display name.
+func (p Posture) String() string {
+	if p < 0 || int(p) >= len(postureNames) {
+		return fmt.Sprintf("posture(%d)", int(p))
+	}
+	return postureNames[p]
+}
+
+// Postures lists the three concepts in the paper's order.
+var Postures = []Posture{PostureSecurity, PostureDefense, PostureDeterrence}
+
+// SDD builds the traffic matrix for one protection posture on the
+// given zones.
+func SDD(z Zones, posture Posture, weight int) (*matrix.Dense, error) {
+	if !z.Valid() {
+		return nil, fmt.Errorf("patterns: invalid zones %+v", z)
+	}
+	if weight < 1 {
+		return nil, fmt.Errorf("patterns: weight must be positive, got %d", weight)
+	}
+	blue0, blue1 := z.Indices(ZoneBlue)
+	grey0, grey1 := z.Indices(ZoneGrey)
+	red0, red1 := z.Indices(ZoneRed)
+	m := matrix.NewSquare(z.N)
+	switch posture {
+	case PostureSecurity:
+		// Every blue host reports to the blue server (the last blue
+		// index) and the server responds: monitoring entirely inside
+		// the walls.
+		if blue1-blue0 < 2 {
+			return nil, fmt.Errorf("patterns: security needs ≥2 blue hosts")
+		}
+		srv := blue1 - 1
+		for i := blue0; i < srv; i++ {
+			m.Set(i, srv, weight)
+			m.Set(srv, i, weight)
+		}
+	case PostureDefense:
+		// Blue sensors reach out to greyspace observatories and the
+		// observatories report back: stepping outside the network to
+		// see threats coming.
+		if grey1 == grey0 || blue1 == blue0 {
+			return nil, fmt.Errorf("patterns: defense needs grey and blue hosts")
+		}
+		for k, g := 0, grey0; g < grey1; g, k = g+1, k+1 {
+			b := blue0 + k%(blue1-blue0)
+			m.Set(b, g, weight)
+			m.Set(g, b, weight+1)
+		}
+	case PostureDeterrence:
+		// Credible presence in adversary space: blue hosts touch
+		// red infrastructure, and red space reacts internally.
+		if red1 == red0 || blue1 == blue0 {
+			return nil, fmt.Errorf("patterns: deterrence needs red and blue hosts")
+		}
+		for k, r := 0, red0; r < red1; r, k = r+1, k+1 {
+			b := blue0 + k%(blue1-blue0)
+			m.Set(b, r, weight)
+		}
+		if red1-red0 >= 2 {
+			m.Set(red0, red0+1, weight)
+			m.Set(red0+1, red0, weight)
+		}
+	default:
+		return nil, fmt.Errorf("patterns: unknown posture %d", posture)
+	}
+	return m, nil
+}

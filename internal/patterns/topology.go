@@ -1,0 +1,111 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Basic traffic topologies (Fig 6): "traffic patterns shown for
+// isolated links, single links, internal supernodes, and external
+// supernodes". These are the vocabulary of the multi-temporal network
+// analysis literature the figure cites: the classifier below
+// recognizes each so a student's intuition can be checked
+// mechanically.
+
+// IsolatedLinks returns a matrix of disjoint bidirectional pairs:
+// (0↔1), (2↔3), … for the given number of pairs. Both endpoints of
+// each pair talk only to each other — the paper's "isolated links"
+// topology (Fig 6a).
+func IsolatedLinks(n, pairs, weight int) (*matrix.Dense, error) {
+	if pairs < 1 || 2*pairs > n {
+		return nil, fmt.Errorf("patterns: %d isolated pairs do not fit %d vertices", pairs, n)
+	}
+	if weight < 1 {
+		return nil, fmt.Errorf("patterns: weight must be positive, got %d", weight)
+	}
+	m := matrix.NewSquare(n)
+	for p := 0; p < pairs; p++ {
+		i, j := 2*p, 2*p+1
+		m.Set(i, j, weight)
+		m.Set(j, i, weight)
+	}
+	return m, nil
+}
+
+// SingleLinks returns a matrix of disjoint one-way links:
+// (0→1), (2→3), … Each vertex participates in at most one link and
+// nothing is reciprocated — the paper's "single links" topology
+// (Fig 6b).
+func SingleLinks(n, links, weight int) (*matrix.Dense, error) {
+	if links < 1 || 2*links > n {
+		return nil, fmt.Errorf("patterns: %d single links do not fit %d vertices", links, n)
+	}
+	if weight < 1 {
+		return nil, fmt.Errorf("patterns: weight must be positive, got %d", weight)
+	}
+	m := matrix.NewSquare(n)
+	for p := 0; p < links; p++ {
+		m.Set(2*p, 2*p+1, weight)
+	}
+	return m, nil
+}
+
+// Supernode returns a matrix where one hub exchanges traffic with
+// every vertex in the peer range [peerStart,peerEnd). When the hub is
+// a blue-zone host this is the paper's "internal supernode" (Fig 6c,
+// e.g. a busy internal server); a grey- or red-zone hub is the
+// "external supernode" (Fig 6d, e.g. a popular external service).
+// Traffic flows both ways, one packet heavier toward the hub so the
+// fan-in is visible.
+func Supernode(n, hub, peerStart, peerEnd, weight int) (*matrix.Dense, error) {
+	if hub < 0 || hub >= n {
+		return nil, fmt.Errorf("patterns: supernode hub %d out of range [0,%d)", hub, n)
+	}
+	if peerStart < 0 || peerEnd > n || peerStart >= peerEnd {
+		return nil, fmt.Errorf("patterns: peer range [%d,%d) invalid for %d vertices", peerStart, peerEnd, n)
+	}
+	if weight < 1 {
+		return nil, fmt.Errorf("patterns: weight must be positive, got %d", weight)
+	}
+	m := matrix.NewSquare(n)
+	placed := 0
+	for p := peerStart; p < peerEnd; p++ {
+		if p == hub {
+			continue
+		}
+		m.Set(p, hub, weight+1)
+		m.Set(hub, p, weight)
+		placed++
+	}
+	if placed == 0 {
+		return nil, fmt.Errorf("patterns: supernode has no peers in [%d,%d)", peerStart, peerEnd)
+	}
+	return m, nil
+}
+
+// InternalSupernode builds Fig 6c on the standard zones: the blue
+// server (SRV1, index BlueEnd-1) exchanging traffic with every other
+// blue host and the grey externals.
+func InternalSupernode(z Zones, weight int) (*matrix.Dense, error) {
+	if !z.Valid() || z.BlueEnd == 0 {
+		return nil, fmt.Errorf("patterns: zones %+v lack a blue region", z)
+	}
+	hub := z.BlueEnd - 1
+	return Supernode(z.N, hub, 0, z.GreyEnd, weight)
+}
+
+// ExternalSupernode builds Fig 6d on the standard zones: a grey
+// external service (EXT1, index BlueEnd) exchanging traffic with
+// every blue host.
+func ExternalSupernode(z Zones, weight int) (*matrix.Dense, error) {
+	if !z.Valid() || z.GreyEnd == z.BlueEnd {
+		return nil, fmt.Errorf("patterns: zones %+v lack a grey region", z)
+	}
+	hub := z.BlueEnd
+	m, err := Supernode(z.N, hub, 0, z.BlueEnd, weight)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,66 @@
+package quiz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Session persistence: educators running the game "as a core unit as
+// part of a formal course" need records that outlive the process.
+// Sessions serialize to a small JSON document; cohorts rebuild from
+// any number of saved sessions.
+
+// sessionRecord is the on-disk form.
+type sessionRecord struct {
+	Student  string    `json:"student"`
+	SavedAt  time.Time `json:"saved_at"`
+	Results  []Result  `json:"results"`
+	Version  int       `json:"version"`
+	Checksum int       `json:"answered"` // redundancy for quick sanity checks
+}
+
+// currentSessionVersion guards the format.
+const currentSessionVersion = 1
+
+// Save writes the session as JSON.
+func (s *Session) Save(w io.Writer, now time.Time) error {
+	rec := sessionRecord{
+		Student:  s.Student,
+		SavedAt:  now.UTC(),
+		Results:  s.Results(),
+		Version:  currentSessionVersion,
+		Checksum: s.Answered(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return fmt.Errorf("quiz: save session: %w", err)
+	}
+	return nil
+}
+
+// LoadSession reads a session saved by Save.
+func LoadSession(r io.Reader) (*Session, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("quiz: load session: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rec sessionRecord
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("quiz: load session: %w", err)
+	}
+	if rec.Version != currentSessionVersion {
+		return nil, fmt.Errorf("quiz: load session: unsupported version %d", rec.Version)
+	}
+	if rec.Checksum != len(rec.Results) {
+		return nil, fmt.Errorf("quiz: load session: answered count %d does not match %d results", rec.Checksum, len(rec.Results))
+	}
+	s := NewSession(rec.Student)
+	s.results = append(s.results, rec.Results...)
+	return s, nil
+}

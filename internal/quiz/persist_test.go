@@ -1,0 +1,79 @@
+package quiz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSessionSaveLoadRoundTrip(t *testing.T) {
+	s := NewSession("alice")
+	p := Shuffle(sampleQuestion(), nil)
+	if _, err := s.Record(p, p.CorrectOption); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Record(p, (p.CorrectOption+1)%3); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf, time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Student != "alice" || back.Answered() != 2 || back.Score() != 0.5 {
+		t.Errorf("reloaded session wrong: %s %d %f", back.Student, back.Answered(), back.Score())
+	}
+	if back.Report() != s.Report() {
+		t.Error("report changed across the round trip")
+	}
+}
+
+func TestLoadSessionRejectsCorruption(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"bad version":   `{"student":"x","saved_at":"2026-01-01T00:00:00Z","results":[],"version":9,"answered":0}`,
+		"bad checksum":  `{"student":"x","saved_at":"2026-01-01T00:00:00Z","results":[],"version":1,"answered":5}`,
+		"unknown field": `{"student":"x","extra":true,"version":1,"answered":0,"results":[],"saved_at":"2026-01-01T00:00:00Z"}`,
+	}
+	for name, src := range cases {
+		if _, err := LoadSession(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCohortFromSavedSessions(t *testing.T) {
+	save := func(correct bool) string {
+		s := NewSession("s")
+		p := Shuffle(sampleQuestion(), nil)
+		sel := p.CorrectOption
+		if !correct {
+			sel = (p.CorrectOption + 1) % 3
+		}
+		if _, err := s.Record(p, sel); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cohort := NewCohort()
+	for _, doc := range []string{save(true), save(false), save(true)} {
+		s, err := LoadSession(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cohort.AddSession(s)
+	}
+	items := cohort.Items()
+	if len(items) != 1 || items[0].Attempts != 3 || items[0].Correct != 2 {
+		t.Errorf("cohort from disk wrong: %+v", items)
+	}
+}

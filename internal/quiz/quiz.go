@@ -1,0 +1,208 @@
+// Package quiz implements the multiple-choice machinery of Traffic
+// Warehouse: three-option questions whose answer order is randomized
+// at display time ("Traffic Warehouse will randomize the list that has
+// the answers when they are displayed, so the first element will not
+// always be the first option given"), grading, per-session scoring,
+// and per-item statistics for educators.
+package quiz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RecommendedChoices is the paper's deliberate choice of three
+// answers, citing the psychometric literature on three-option
+// multiple-choice items.
+const RecommendedChoices = 3
+
+// Question is a multiple-choice item as authored: the answer list in
+// file order with the index of the correct element.
+type Question struct {
+	// Prompt is the question text shown to the student.
+	Prompt string
+	// Answers is the authored answer list.
+	Answers []string
+	// Correct is the index into Answers of the correct option
+	// (the module file's "correct_answer_element").
+	Correct int
+}
+
+// Validate checks structural integrity: a non-empty prompt, at least
+// two answers, a correct index in range, and no duplicate answers
+// (duplicates make the correct choice ambiguous after shuffling).
+func (q Question) Validate() error {
+	if strings.TrimSpace(q.Prompt) == "" {
+		return errors.New("quiz: empty prompt")
+	}
+	if len(q.Answers) < 2 {
+		return fmt.Errorf("quiz: need at least 2 answers, got %d", len(q.Answers))
+	}
+	if q.Correct < 0 || q.Correct >= len(q.Answers) {
+		return fmt.Errorf("quiz: correct answer index %d out of range [0,%d)", q.Correct, len(q.Answers))
+	}
+	seen := make(map[string]bool, len(q.Answers))
+	for _, a := range q.Answers {
+		if seen[a] {
+			return fmt.Errorf("quiz: duplicate answer %q", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// CorrectText returns the text of the correct answer.
+func (q Question) CorrectText() string { return q.Answers[q.Correct] }
+
+// Presented is a question with its answers shuffled for display. The
+// permutation is retained so grading can map a displayed choice back
+// to the authored index.
+type Presented struct {
+	// Prompt is the question text.
+	Prompt string
+	// Options are the answers in display order.
+	Options []string
+	// CorrectOption is the display index of the correct answer.
+	CorrectOption int
+	// perm[k] is the authored index shown at display position k.
+	perm []int
+}
+
+// Shuffle presents q with its answers permuted by rng. A nil rng
+// presents the answers in authored order (used by deterministic
+// tooling such as module previews).
+func Shuffle(q Question, rng *rand.Rand) Presented {
+	n := len(q.Answers)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	p := Presented{
+		Prompt:  q.Prompt,
+		Options: make([]string, n),
+		perm:    perm,
+	}
+	for k, authored := range perm {
+		p.Options[k] = q.Answers[authored]
+		if authored == q.Correct {
+			p.CorrectOption = k
+		}
+	}
+	return p
+}
+
+// Grade reports whether the displayed choice at index selected is
+// correct. It returns an error for an out-of-range selection.
+func (p Presented) Grade(selected int) (bool, error) {
+	if selected < 0 || selected >= len(p.Options) {
+		return false, fmt.Errorf("quiz: selection %d out of range [0,%d)", selected, len(p.Options))
+	}
+	return selected == p.CorrectOption, nil
+}
+
+// AuthoredIndex maps a displayed option position back to the authored
+// answer index.
+func (p Presented) AuthoredIndex(selected int) (int, error) {
+	if selected < 0 || selected >= len(p.perm) {
+		return 0, fmt.Errorf("quiz: selection %d out of range [0,%d)", selected, len(p.perm))
+	}
+	return p.perm[selected], nil
+}
+
+// Result records one answered question within a session.
+type Result struct {
+	// Prompt is the question text.
+	Prompt string
+	// Selected is the text of the chosen option.
+	Selected string
+	// CorrectText is the text of the correct option.
+	CorrectText string
+	// Correct reports whether the selection was right.
+	Correct bool
+}
+
+// Session accumulates results across a lesson run and produces the
+// score report the classroom example prints.
+type Session struct {
+	// Student is an optional display name.
+	Student string
+	results []Result
+}
+
+// NewSession creates a session for the named student.
+func NewSession(student string) *Session {
+	return &Session{Student: student}
+}
+
+// Record grades the selection against p and appends the result,
+// returning whether it was correct.
+func (s *Session) Record(p Presented, selected int) (bool, error) {
+	ok, err := p.Grade(selected)
+	if err != nil {
+		return false, err
+	}
+	s.results = append(s.results, Result{
+		Prompt:      p.Prompt,
+		Selected:    p.Options[selected],
+		CorrectText: p.Options[p.CorrectOption],
+		Correct:     ok,
+	})
+	return ok, nil
+}
+
+// Results returns a copy of the recorded results in answer order.
+func (s *Session) Results() []Result {
+	out := make([]Result, len(s.results))
+	copy(out, s.results)
+	return out
+}
+
+// Answered returns the number of questions answered.
+func (s *Session) Answered() int { return len(s.results) }
+
+// CorrectCount returns the number answered correctly.
+func (s *Session) CorrectCount() int {
+	n := 0
+	for _, r := range s.results {
+		if r.Correct {
+			n++
+		}
+	}
+	return n
+}
+
+// Score returns the fraction correct in [0,1], or 0 when nothing has
+// been answered.
+func (s *Session) Score() float64 {
+	if len(s.results) == 0 {
+		return 0
+	}
+	return float64(s.CorrectCount()) / float64(len(s.results))
+}
+
+// Report renders a plain-text score report.
+func (s *Session) Report() string {
+	var b strings.Builder
+	name := s.Student
+	if name == "" {
+		name = "student"
+	}
+	fmt.Fprintf(&b, "Score report for %s\n", name)
+	for i, r := range s.results {
+		mark := "✗"
+		if r.Correct {
+			mark = "✓"
+		}
+		fmt.Fprintf(&b, "%2d. [%s] %s\n", i+1, mark, r.Prompt)
+		if !r.Correct {
+			fmt.Fprintf(&b, "       answered %q, correct answer was %q\n", r.Selected, r.CorrectText)
+		}
+	}
+	fmt.Fprintf(&b, "Total: %d/%d (%.0f%%)\n", s.CorrectCount(), s.Answered(), 100*s.Score())
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package quiz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleQuestion() Question {
+	return Question{
+		Prompt:  "How many packets did WS1 send to ADV4?",
+		Answers: []string{"0", "1", "2"},
+		Correct: 2,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleQuestion().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]Question{
+		"empty prompt":     {Prompt: " ", Answers: []string{"a", "b"}, Correct: 0},
+		"one answer":       {Prompt: "q", Answers: []string{"a"}, Correct: 0},
+		"correct too big":  {Prompt: "q", Answers: []string{"a", "b"}, Correct: 2},
+		"correct negative": {Prompt: "q", Answers: []string{"a", "b"}, Correct: -1},
+		"duplicates":       {Prompt: "q", Answers: []string{"a", "a", "b"}, Correct: 0},
+	}
+	for name, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCorrectText(t *testing.T) {
+	if got := sampleQuestion().CorrectText(); got != "2" {
+		t.Errorf("CorrectText = %q", got)
+	}
+}
+
+func TestShuffleNilRNGKeepsOrder(t *testing.T) {
+	p := Shuffle(sampleQuestion(), nil)
+	for i, want := range sampleQuestion().Answers {
+		if p.Options[i] != want {
+			t.Errorf("option %d = %q, want %q", i, p.Options[i], want)
+		}
+	}
+	if p.CorrectOption != 2 {
+		t.Errorf("CorrectOption = %d", p.CorrectOption)
+	}
+}
+
+// TestShufflePermutationProperty: a shuffled presentation is always
+// a permutation of the authored answers, and CorrectOption always
+// names the correct text — the paper's randomization requirement.
+func TestShufflePermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		q := sampleQuestion()
+		p := Shuffle(q, rand.New(rand.NewSource(seed)))
+		if len(p.Options) != len(q.Answers) {
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, o := range p.Options {
+			seen[o] = true
+		}
+		for _, a := range q.Answers {
+			if !seen[a] {
+				return false
+			}
+		}
+		return p.Options[p.CorrectOption] == q.CorrectText()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShuffleActuallyShuffles: across many seeds the correct answer
+// must appear at every display position — the first element "will
+// not always be the first option given".
+func TestShuffleActuallyShuffles(t *testing.T) {
+	q := sampleQuestion()
+	positions := make(map[int]int)
+	for seed := int64(0); seed < 300; seed++ {
+		p := Shuffle(q, rand.New(rand.NewSource(seed)))
+		positions[p.CorrectOption]++
+	}
+	for pos := 0; pos < 3; pos++ {
+		if positions[pos] == 0 {
+			t.Errorf("correct answer never displayed at position %d", pos)
+		}
+	}
+	// Roughly uniform: each position within [50, 150] of 100.
+	for pos, n := range positions {
+		if n < 50 || n > 150 {
+			t.Errorf("position %d frequency %d of 300 is far from uniform", pos, n)
+		}
+	}
+}
+
+func TestGrade(t *testing.T) {
+	p := Shuffle(sampleQuestion(), rand.New(rand.NewSource(4)))
+	ok, err := p.Grade(p.CorrectOption)
+	if err != nil || !ok {
+		t.Errorf("grading the correct option: ok=%v err=%v", ok, err)
+	}
+	wrong := (p.CorrectOption + 1) % len(p.Options)
+	ok, err = p.Grade(wrong)
+	if err != nil || ok {
+		t.Errorf("grading a wrong option: ok=%v err=%v", ok, err)
+	}
+	if _, err := p.Grade(7); err == nil {
+		t.Error("out-of-range selection accepted")
+	}
+}
+
+func TestAuthoredIndex(t *testing.T) {
+	q := sampleQuestion()
+	p := Shuffle(q, rand.New(rand.NewSource(9)))
+	for display := range p.Options {
+		authored, err := p.AuthoredIndex(display)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Answers[authored] != p.Options[display] {
+			t.Errorf("display %d maps to authored %d but texts differ", display, authored)
+		}
+	}
+	if _, err := p.AuthoredIndex(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestSessionScoring(t *testing.T) {
+	s := NewSession("test")
+	p := Shuffle(sampleQuestion(), nil)
+	if _, err := s.Record(p, p.CorrectOption); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Record(p, (p.CorrectOption+1)%3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Answered() != 2 || s.CorrectCount() != 1 {
+		t.Errorf("answered/correct = %d/%d", s.Answered(), s.CorrectCount())
+	}
+	if s.Score() != 0.5 {
+		t.Errorf("score = %f", s.Score())
+	}
+}
+
+func TestSessionEmptyScore(t *testing.T) {
+	if NewSession("x").Score() != 0 {
+		t.Error("empty session score should be 0")
+	}
+}
+
+func TestSessionRecordRejectsBadSelection(t *testing.T) {
+	s := NewSession("x")
+	p := Shuffle(sampleQuestion(), nil)
+	if _, err := s.Record(p, 99); err == nil {
+		t.Error("bad selection recorded")
+	}
+	if s.Answered() != 0 {
+		t.Error("failed record still counted")
+	}
+}
+
+func TestSessionReport(t *testing.T) {
+	s := NewSession("alice")
+	p := Shuffle(sampleQuestion(), nil)
+	_, _ = s.Record(p, p.CorrectOption)
+	_, _ = s.Record(p, (p.CorrectOption+1)%3)
+	report := s.Report()
+	for _, want := range []string{"alice", "✓", "✗", "1/2", "50%"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestResultsCopy(t *testing.T) {
+	s := NewSession("x")
+	p := Shuffle(sampleQuestion(), nil)
+	_, _ = s.Record(p, 0)
+	r := s.Results()
+	r[0].Prompt = "mutated"
+	if s.Results()[0].Prompt == "mutated" {
+		t.Error("Results aliases internal state")
+	}
+}

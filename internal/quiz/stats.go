@@ -1,0 +1,104 @@
+package quiz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ItemStats aggregates responses to a single question across many
+// sessions, giving educators the item-difficulty view the paper's
+// future-work section gestures at ("measuring the outcome and effect
+// on the student").
+type ItemStats struct {
+	// Prompt identifies the question.
+	Prompt string
+	// Attempts is the total number of responses recorded.
+	Attempts int
+	// Correct is the number of correct responses.
+	Correct int
+	// Distractors counts how often each wrong answer text was
+	// chosen.
+	Distractors map[string]int
+}
+
+// Difficulty returns the fraction answered correctly (the classical
+// item "P value"); 0 when unattempted.
+func (it ItemStats) Difficulty() float64 {
+	if it.Attempts == 0 {
+		return 0
+	}
+	return float64(it.Correct) / float64(it.Attempts)
+}
+
+// Cohort aggregates sessions from a whole class.
+type Cohort struct {
+	items map[string]*ItemStats
+	order []string
+}
+
+// NewCohort returns an empty cohort aggregate.
+func NewCohort() *Cohort {
+	return &Cohort{items: make(map[string]*ItemStats)}
+}
+
+// AddSession folds one session's results into the aggregate.
+func (c *Cohort) AddSession(s *Session) {
+	for _, r := range s.Results() {
+		it, ok := c.items[r.Prompt]
+		if !ok {
+			it = &ItemStats{Prompt: r.Prompt, Distractors: make(map[string]int)}
+			c.items[r.Prompt] = it
+			c.order = append(c.order, r.Prompt)
+		}
+		it.Attempts++
+		if r.Correct {
+			it.Correct++
+		} else {
+			it.Distractors[r.Selected]++
+		}
+	}
+}
+
+// Items returns per-question statistics in first-seen order.
+func (c *Cohort) Items() []ItemStats {
+	out := make([]ItemStats, 0, len(c.order))
+	for _, prompt := range c.order {
+		out = append(out, *c.items[prompt])
+	}
+	return out
+}
+
+// HardestFirst returns the items sorted by increasing difficulty
+// value (hardest items first), ties broken by prompt.
+func (c *Cohort) HardestFirst() []ItemStats {
+	items := c.Items()
+	sort.Slice(items, func(a, b int) bool {
+		da, db := items[a].Difficulty(), items[b].Difficulty()
+		if da != db {
+			return da < db
+		}
+		return items[a].Prompt < items[b].Prompt
+	})
+	return items
+}
+
+// Report renders the cohort view as plain text.
+func (c *Cohort) Report() string {
+	var b strings.Builder
+	b.WriteString("Cohort item analysis (hardest first)\n")
+	for _, it := range c.HardestFirst() {
+		fmt.Fprintf(&b, "  P=%.2f (%d/%d) %s\n", it.Difficulty(), it.Correct, it.Attempts, it.Prompt)
+		// Most-chosen distractor, if any.
+		best, bestN := "", 0
+		for text, n := range it.Distractors {
+			if n > bestN || (n == bestN && text < best) {
+				best, bestN = text, n
+			}
+		}
+		if bestN > 0 {
+			fmt.Fprintf(&b, "      top distractor: %q (%d)\n", best, bestN)
+		}
+	}
+	return b.String()
+}

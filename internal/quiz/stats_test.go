@@ -1,0 +1,82 @@
+package quiz
+
+import (
+	"strings"
+	"testing"
+)
+
+// makeSession records the given correctness sequence against a
+// two-question lesson.
+func makeSession(t *testing.T, name string, q1ok, q2ok bool) *Session {
+	t.Helper()
+	s := NewSession(name)
+	q1 := Shuffle(Question{Prompt: "Q1", Answers: []string{"a", "b", "c"}, Correct: 0}, nil)
+	q2 := Shuffle(Question{Prompt: "Q2", Answers: []string{"x", "y", "z"}, Correct: 1}, nil)
+	record := func(p Presented, ok bool) {
+		sel := p.CorrectOption
+		if !ok {
+			sel = (p.CorrectOption + 1) % len(p.Options)
+		}
+		if _, err := s.Record(p, sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	record(q1, q1ok)
+	record(q2, q2ok)
+	return s
+}
+
+func TestCohortAggregation(t *testing.T) {
+	c := NewCohort()
+	c.AddSession(makeSession(t, "a", true, true))
+	c.AddSession(makeSession(t, "b", true, false))
+	c.AddSession(makeSession(t, "c", false, false))
+	items := c.Items()
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Prompt != "Q1" || items[0].Attempts != 3 || items[0].Correct != 2 {
+		t.Errorf("Q1 stats = %+v", items[0])
+	}
+	if items[1].Correct != 1 {
+		t.Errorf("Q2 stats = %+v", items[1])
+	}
+}
+
+func TestDifficulty(t *testing.T) {
+	it := ItemStats{Attempts: 4, Correct: 1}
+	if it.Difficulty() != 0.25 {
+		t.Errorf("difficulty = %f", it.Difficulty())
+	}
+	if (ItemStats{}).Difficulty() != 0 {
+		t.Error("unattempted difficulty should be 0")
+	}
+}
+
+func TestHardestFirst(t *testing.T) {
+	c := NewCohort()
+	c.AddSession(makeSession(t, "a", true, false))
+	c.AddSession(makeSession(t, "b", true, false))
+	hardest := c.HardestFirst()
+	if hardest[0].Prompt != "Q2" {
+		t.Errorf("hardest = %q", hardest[0].Prompt)
+	}
+}
+
+func TestDistractorTracking(t *testing.T) {
+	c := NewCohort()
+	c.AddSession(makeSession(t, "a", false, true))
+	items := c.Items()
+	if len(items[0].Distractors) != 1 {
+		t.Errorf("distractors = %v", items[0].Distractors)
+	}
+}
+
+func TestCohortReport(t *testing.T) {
+	c := NewCohort()
+	c.AddSession(makeSession(t, "a", false, true))
+	report := c.Report()
+	if !strings.Contains(report, "Q1") || !strings.Contains(report, "top distractor") {
+		t.Errorf("report missing content:\n%s", report)
+	}
+}

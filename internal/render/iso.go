@@ -1,0 +1,210 @@
+package render
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/voxel"
+)
+
+// The 3D view: "The student has the ability to go into a 3D mode by
+// pressing the spacebar key. The student can rotate the view using
+// the Q and E keys." Iso3D draws the warehouse floor as an isometric
+// diamond of pallets with boxes stacked per packet, supporting the
+// four quarter-turn rotations.
+
+// Rotation is a quarter-turn view angle in {0,1,2,3}.
+type Rotation int
+
+// Normalize wraps any integer rotation into {0,1,2,3}.
+func (r Rotation) Normalize() Rotation {
+	m := int(r) % 4
+	if m < 0 {
+		m += 4
+	}
+	return Rotation(m)
+}
+
+// Left returns the rotation one quarter-turn counter-clockwise (the
+// Q key); Right one clockwise (the E key).
+func (r Rotation) Left() Rotation  { return (r + 3).Normalize() }
+func (r Rotation) Right() Rotation { return (r + 1).Normalize() }
+
+// String renders the rotation in degrees.
+func (r Rotation) String() string {
+	return fmt.Sprintf("%d°", int(r.Normalize())*90)
+}
+
+// display maps original grid coordinates (i,j) to display
+// coordinates under the rotation.
+func (r Rotation) display(i, j, n int) (dr, dc int) {
+	switch r.Normalize() {
+	case 1:
+		return j, n - 1 - i
+	case 2:
+		return n - 1 - i, n - 1 - j
+	case 3:
+		return n - 1 - j, i
+	default:
+		return i, j
+	}
+}
+
+// Iso3DOptions configures the isometric warehouse view.
+type Iso3DOptions struct {
+	// Labels are the axis labels (optional).
+	Labels []string
+	// Colors is the pallet color-code matrix (optional).
+	Colors *matrix.Dense
+	// ShowColors toggles pallet coloring.
+	ShowColors bool
+	// Placed, when set, draws only the already-placed boxes; the
+	// full target count otherwise.
+	Placed *matrix.Dense
+	// Rotation is the view angle.
+	Rotation Rotation
+	// Title is drawn above the scene when non-empty.
+	Title string
+}
+
+// Iso-view cell geometry: each pallet projects to a 4-character
+// footprint; adjacent diagonal cells offset by (±cellDX, cellDY).
+const (
+	isoCellW = 4
+	isoDX    = 3
+	isoDY    = 1
+)
+
+// Iso3D renders the warehouse in isometric projection. Cells are
+// drawn back to front (painter's algorithm) so near stacks occlude
+// far ones, exactly as the camera sees the voxel warehouse.
+func Iso3D(m *matrix.Dense, opts Iso3DOptions) (*Framebuffer, error) {
+	n := m.Rows()
+	if m.Cols() != n {
+		return nil, fmt.Errorf("render: 3D view needs a square matrix, got %dx%d", m.Rows(), m.Cols())
+	}
+	if len(opts.Labels) > 0 && len(opts.Labels) != n {
+		return nil, fmt.Errorf("render: %d labels for %dx%d matrix", len(opts.Labels), n, n)
+	}
+	if opts.Colors != nil && (opts.Colors.Rows() != n || opts.Colors.Cols() != n) {
+		return nil, fmt.Errorf("render: color matrix %dx%d does not match %dx%d", opts.Colors.Rows(), opts.Colors.Cols(), n, n)
+	}
+	if opts.Placed != nil && (opts.Placed.Rows() != n || opts.Placed.Cols() != n) {
+		return nil, fmt.Errorf("render: placed matrix %dx%d does not match %dx%d", opts.Placed.Rows(), opts.Placed.Cols(), n, n)
+	}
+
+	maxStack := m.Max()
+	if opts.Placed != nil {
+		maxStack = opts.Placed.Max()
+	}
+	labelGutter := 1
+	for _, l := range opts.Labels {
+		if len(l)+2 > labelGutter {
+			labelGutter = len(l) + 2
+		}
+	}
+	titleRows := 0
+	if opts.Title != "" {
+		titleRows = 2
+	}
+	// The diamond spans (2n-1) diagonal steps horizontally and
+	// vertically; stacks extend upward by maxStack rows.
+	width := (2*n-2)*isoDX + isoCellW + 2*labelGutter
+	height := titleRows + maxStack + (2*n-2)*isoDY + 3
+	fb := NewFramebuffer(width, height)
+	if opts.Title != "" {
+		fb.DrawText(0, 0, opts.Title, whiteFG, true, true)
+	}
+	originX := labelGutter + (n-1)*isoDX
+	originY := titleRows + maxStack + 1
+
+	// screenPos returns the top-left of the pallet footprint for
+	// display coordinates (dr,dc).
+	screenPos := func(dr, dc int) (x, y int) {
+		x = originX + (dc-dr)*isoDX
+		y = originY + (dc+dr)*isoDY
+		return x, y
+	}
+
+	palette := voxel.DefaultPalette()
+	woodBG := palette[voxel.PaintWood]
+	boxBG := palette[voxel.PaintCardb]
+	tapeFG := palette[voxel.PaintTape]
+
+	// Painter's algorithm: draw in increasing dr+dc (back to
+	// front).
+	for s := 0; s <= 2*(n-1); s++ {
+		for dr := 0; dr < n; dr++ {
+			dc := s - dr
+			if dc < 0 || dc >= n {
+				continue
+			}
+			// Invert the rotation to find the source cell.
+			i, j := invertDisplay(opts.Rotation, dr, dc, n)
+			count := m.At(i, j)
+			shown := count
+			if opts.Placed != nil {
+				shown = opts.Placed.At(i, j)
+			}
+			x, y := screenPos(dr, dc)
+			// Pallet slab.
+			bg := woodBG
+			if opts.ShowColors && opts.Colors != nil {
+				bg = palette[voxel.MaterialForColorCode(opts.Colors.At(i, j))]
+			}
+			for k := 0; k < isoCellW; k++ {
+				fb.Set(x+k, y, Cell{Ch: '▒', FG: bg, HasFG: true, BG: bg, HasBG: true})
+			}
+			// Box stack, one row per packet, centered on the
+			// pallet.
+			for b := 0; b < shown; b++ {
+				by := y - 1 - b
+				fb.Set(x+1, by, Cell{Ch: '[', FG: tapeFG, HasFG: true, BG: boxBG, HasBG: true})
+				fb.Set(x+2, by, Cell{Ch: ']', FG: tapeFG, HasFG: true, BG: boxBG, HasBG: true})
+			}
+		}
+	}
+
+	// Axis labels follow the rotation: the row axis runs along the
+	// cells (i, 0), the column axis along (0, j). Labels are placed
+	// outward from whichever screen side their edge cell lands on.
+	if len(opts.Labels) > 0 {
+		centerX := originX + isoCellW/2
+		place := func(i, j int, label string) {
+			dr, dc := opts.Rotation.display(i, j, n)
+			x, y := screenPos(dr, dc)
+			// One row below the pallet base keeps labels clear of
+			// box stacks, which only grow upward.
+			if x+isoCellW/2 <= centerX {
+				fb.DrawText(x-len(label)-1, y+1, label, whiteFG, true, false)
+			} else {
+				fb.DrawText(x+isoCellW+1, y+1, label, whiteFG, true, false)
+			}
+		}
+		for i, l := range opts.Labels {
+			place(i, 0, l)
+		}
+		for j, l := range opts.Labels {
+			if j == 0 {
+				continue // (0,0) already labeled by the row axis
+			}
+			place(0, j, l)
+		}
+	}
+	return fb, nil
+}
+
+// invertDisplay maps display coordinates back to original grid
+// coordinates under the rotation.
+func invertDisplay(r Rotation, dr, dc, n int) (i, j int) {
+	switch r.Normalize() {
+	case 1:
+		return n - 1 - dc, dr
+	case 2:
+		return n - 1 - dr, n - 1 - dc
+	case 3:
+		return dc, n - 1 - dr
+	default:
+		return dr, dc
+	}
+}

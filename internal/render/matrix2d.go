@@ -1,0 +1,181 @@
+package render
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/voxel"
+)
+
+// The 2D top-down view: "how they would generally see a matrix in a
+// spreadsheet, a textbook, or a presentation". Each cell shows its
+// packet count; the color toggle paints cell backgrounds from the
+// color matrix exactly as the in-game button recolors pallets.
+
+// Matrix2DOptions configures the 2D view.
+type Matrix2DOptions struct {
+	// Labels are the axis labels applied to both axes; optional.
+	Labels []string
+	// Colors is the color-code matrix (0 grey, 1 blue, 2 red);
+	// optional.
+	Colors *matrix.Dense
+	// ShowColors enables the color overlay (the toggle-pallet-color
+	// button).
+	ShowColors bool
+	// Placed, when set, renders game progress as "placed/target"
+	// per cell.
+	Placed *matrix.Dense
+	// CursorRow and CursorCol select a highlighted cell when
+	// HasCursor is set.
+	CursorRow, CursorCol int
+	HasCursor            bool
+	// Title is drawn above the grid when non-empty.
+	Title string
+	// ShowZero renders zero cells as "." (default) or "0".
+	ShowZero bool
+}
+
+// Palette for the 2D view, shared with the voxel assets so both
+// views agree on what blue/red/grey mean.
+var (
+	colorGridBG = map[int]voxel.RGB{
+		0: DefaultPaletteRGB(voxel.PaintGrey),
+		1: DefaultPaletteRGB(voxel.PaintBlue),
+		2: DefaultPaletteRGB(voxel.PaintRed),
+		3: DefaultPaletteRGB(voxel.PaintGreen),
+		4: DefaultPaletteRGB(voxel.PaintYellow),
+		5: DefaultPaletteRGB(voxel.PaintPurple),
+	}
+	blackBG = DefaultPaletteRGB(voxel.PaintBlack)
+	whiteFG = DefaultPaletteRGB(voxel.PaintWhite)
+	cyanFG  = voxel.RGB{R: 0x55, G: 0xff, B: 0xff}
+)
+
+// DefaultPaletteRGB returns a color from the default voxel palette.
+func DefaultPaletteRGB(index uint8) voxel.RGB {
+	p := voxel.DefaultPalette()
+	return p[index]
+}
+
+// Matrix2D renders the traffic matrix as a labeled grid. The matrix
+// must be square when labels are provided (one list labels both
+// axes, as the module format specifies).
+func Matrix2D(m *matrix.Dense, opts Matrix2DOptions) (*Framebuffer, error) {
+	n := m.Rows()
+	if m.Cols() != n {
+		return nil, fmt.Errorf("render: 2D view needs a square matrix, got %dx%d", m.Rows(), m.Cols())
+	}
+	if len(opts.Labels) > 0 && len(opts.Labels) != n {
+		return nil, fmt.Errorf("render: %d labels for %dx%d matrix", len(opts.Labels), n, n)
+	}
+	if opts.Colors != nil && (opts.Colors.Rows() != n || opts.Colors.Cols() != n) {
+		return nil, fmt.Errorf("render: color matrix %dx%d does not match %dx%d", opts.Colors.Rows(), opts.Colors.Cols(), n, n)
+	}
+	if opts.Placed != nil && (opts.Placed.Rows() != n || opts.Placed.Cols() != n) {
+		return nil, fmt.Errorf("render: placed matrix %dx%d does not match %dx%d", opts.Placed.Rows(), opts.Placed.Cols(), n, n)
+	}
+
+	// Geometry: row-label gutter on the left, one header line on
+	// top, fixed-width cells separated by one space.
+	gutter := 0
+	for _, l := range opts.Labels {
+		if len(l) > gutter {
+			gutter = len(l)
+		}
+	}
+	cellW := 3
+	if opts.Placed != nil {
+		cellW = 5 // "p/t" forms
+	}
+	for _, l := range opts.Labels {
+		if len(l) > cellW {
+			cellW = len(l)
+		}
+	}
+	titleRows := 0
+	if opts.Title != "" {
+		titleRows = 2
+	}
+	headerRows := 0
+	if len(opts.Labels) > 0 {
+		headerRows = 1
+	}
+	width := gutter + 1 + n*(cellW+1)
+	height := titleRows + headerRows + n
+	fb := NewFramebuffer(width, height)
+
+	if opts.Title != "" {
+		fb.DrawText(0, 0, opts.Title, whiteFG, true, true)
+	}
+	if headerRows > 0 {
+		for j, l := range opts.Labels {
+			x := gutter + 1 + j*(cellW+1)
+			fb.DrawText(x+(cellW-len(l))/2, titleRows, l, whiteFG, true, false)
+		}
+	}
+	for i := 0; i < n; i++ {
+		y := titleRows + headerRows + i
+		if len(opts.Labels) > 0 {
+			fb.DrawText(gutter-len(opts.Labels[i]), y, opts.Labels[i], whiteFG, true, false)
+		}
+		for j := 0; j < n; j++ {
+			x := gutter + 1 + j*(cellW+1)
+			text := cellText(m, opts, i, j, cellW)
+			var bg voxel.RGB
+			hasBG := false
+			if opts.ShowColors && opts.Colors != nil {
+				code := opts.Colors.At(i, j)
+				if rgb, ok := colorGridBG[code]; ok {
+					bg = rgb
+				} else {
+					bg = blackBG
+				}
+				hasBG = true
+			}
+			for k, r := range []rune(text) {
+				cell := Cell{Ch: r, FG: whiteFG, HasFG: true, BG: bg, HasBG: hasBG}
+				if opts.HasCursor && i == opts.CursorRow && j == opts.CursorCol {
+					cell.FG = cyanFG
+					cell.Bold = true
+				}
+				fb.Set(x+k, y, cell)
+			}
+		}
+	}
+	return fb, nil
+}
+
+// cellText formats the content of cell (i,j), centered in cellW.
+func cellText(m *matrix.Dense, opts Matrix2DOptions, i, j, cellW int) string {
+	v := m.At(i, j)
+	var body string
+	switch {
+	case opts.Placed != nil:
+		if v == 0 {
+			body = "."
+		} else {
+			body = fmt.Sprintf("%d/%d", opts.Placed.At(i, j), v)
+		}
+	case v == 0 && !opts.ShowZero:
+		body = "."
+	default:
+		body = fmt.Sprint(v)
+	}
+	if opts.HasCursor && i == opts.CursorRow && j == opts.CursorCol {
+		if len(body)+2 <= cellW {
+			body = "[" + body + "]"
+		}
+	}
+	// Center within cellW.
+	pad := cellW - len(body)
+	left := pad / 2
+	out := make([]byte, 0, cellW)
+	for k := 0; k < left; k++ {
+		out = append(out, ' ')
+	}
+	out = append(out, body...)
+	for len(out) < cellW {
+		out = append(out, ' ')
+	}
+	return string(out)
+}

@@ -1,0 +1,147 @@
+package render
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/voxel"
+)
+
+// Voxel-exact rendering: ComposeWarehouse assembles the full voxel
+// scene (checkerboard floor, one pallet per matrix cell, one box per
+// packet) from the built-in MagicaVoxel-style assets, and VoxelIso
+// splats any voxel model to the framebuffer in isometric projection.
+// These are the paths behind the PPM "screenshots" of Fig 5; the
+// terminal plays the lighter Iso3D view.
+
+// cellPitch is the voxel spacing between adjacent pallet cells.
+const cellPitch = voxel.PalletSize + 2
+
+// ComposeWarehouse builds the warehouse voxel scene for a traffic
+// matrix. Boxes stack one per packet; colors select the pallet
+// material when showColors is set (grey/blue/red with the black
+// fallback, per the game's material swap).
+func ComposeWarehouse(m *matrix.Dense, colors *matrix.Dense, placed *matrix.Dense, showColors bool) (*voxel.Model, error) {
+	n := m.Rows()
+	if m.Cols() != n {
+		return nil, fmt.Errorf("render: warehouse scene needs a square matrix, got %dx%d", m.Rows(), m.Cols())
+	}
+	if colors != nil && (colors.Rows() != n || colors.Cols() != n) {
+		return nil, fmt.Errorf("render: color matrix %dx%d does not match %dx%d", colors.Rows(), colors.Cols(), n, n)
+	}
+	if placed != nil && (placed.Rows() != n || placed.Cols() != n) {
+		return nil, fmt.Errorf("render: placed matrix %dx%d does not match %dx%d", placed.Rows(), placed.Cols(), n, n)
+	}
+	maxCount := m.Max()
+	if placed != nil {
+		if pm := placed.Max(); pm > maxCount {
+			maxCount = pm
+		}
+	}
+	sceneW := n * cellPitch
+	sceneD := n * cellPitch
+	sceneH := 1 + 3 + maxCount*voxel.BoxSize + 1
+	scene := voxel.New(sceneW, sceneH, sceneD)
+
+	// Checkerboard floor.
+	for ti := 0; ti < n; ti++ {
+		for tj := 0; tj < n; tj++ {
+			tile := voxel.FloorTile((ti+tj)%2 == 1)
+			blit(scene, tile, tj*cellPitch, 0, ti*cellPitch)
+		}
+	}
+	box := voxel.Box()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			material := uint8(voxel.PaintWood)
+			if showColors && colors != nil {
+				material = voxel.MaterialForColorCode(colors.At(i, j))
+			}
+			pallet := voxel.Pallet(material)
+			// Rows run along Z (depth), columns along X.
+			ox := j*cellPitch + 1
+			oz := i*cellPitch + 1
+			blit(scene, pallet, ox, 1, oz)
+			count := m.At(i, j)
+			if placed != nil {
+				count = placed.At(i, j)
+			}
+			for b := 0; b < count; b++ {
+				blit(scene, box, ox+2, 4+b*voxel.BoxSize, oz+2)
+			}
+		}
+	}
+	return scene, nil
+}
+
+// blit copies every non-empty voxel of src into dst at the offset,
+// clipping at dst's bounds.
+func blit(dst, src *voxel.Model, ox, oy, oz int) {
+	w, h, d := src.Size()
+	for y := 0; y < h; y++ {
+		for z := 0; z < d; z++ {
+			for x := 0; x < w; x++ {
+				if c := src.At(x, y, z); c != voxel.Empty && dst.InBounds(ox+x, oy+y, oz+z) {
+					dst.Set(ox+x, oy+y, oz+z, c)
+				}
+			}
+		}
+	}
+}
+
+// VoxelIso renders a voxel model in 2:1 isometric projection. Each
+// voxel splats two character cells; the painter's order (back to
+// front, bottom to top) resolves occlusion.
+func VoxelIso(m *voxel.Model, rot Rotation) *Framebuffer {
+	w, h, d := m.Size()
+	palette := m.Palette()
+	// Projected extents: sx = 2*(x' - z'), sy = (x' + z') - y.
+	width := 2*(w+d) + 2
+	height := w + d + h + 2
+	fb := NewFramebuffer(width, height)
+	offsetX := 2 * d // shifts min sx to ≥ 0
+	offsetY := h     // shifts min sy to ≥ 0
+
+	// rotated returns the model coordinates for rotated iteration
+	// coordinates, turning the model in quarter turns about Y.
+	rotated := func(x, z int) (mx, mz int) {
+		switch rot.Normalize() {
+		case 1:
+			return z, w - 1 - x
+		case 2:
+			return w - 1 - x, d - 1 - z
+		case 3:
+			return d - 1 - z, x
+		default:
+			return x, z
+		}
+	}
+	// After rotation the iterated footprint swaps dimensions for
+	// odd rotations.
+	iw, id := w, d
+	if rot.Normalize() == 1 || rot.Normalize() == 3 {
+		iw, id = d, w
+	}
+	for s := 0; s <= iw+id-2; s++ {
+		for x := 0; x < iw; x++ {
+			z := s - x
+			if z < 0 || z >= id {
+				continue
+			}
+			mx, mz := rotated(x, z)
+			for y := 0; y < h; y++ {
+				c := m.At(mx, y, mz)
+				if c == voxel.Empty {
+					continue
+				}
+				rgb := palette[c]
+				sx := 2*(x-z) + offsetX
+				sy := (x + z) - y + offsetY
+				cell := Cell{Ch: '█', FG: rgb, HasFG: true, BG: rgb, HasBG: true}
+				fb.Set(sx, sy, cell)
+				fb.Set(sx+1, sy, cell)
+			}
+		}
+	}
+	return fb
+}

@@ -1,0 +1,92 @@
+package term
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table lays out rows of text cells with box-drawing borders. It is
+// used to print the paper's comparison tables (Tables I and II) and
+// tool output. Cells may contain ANSI sequences; alignment uses
+// visible width.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header cells.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a data row. Short rows are padded with empty cells;
+// long rows extend the column count.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// columns returns the number of columns across header and all rows.
+func (t *Table) columns() int {
+	n := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// widths computes the visible width of each column.
+func (t *Table) widths() []int {
+	w := make([]int, t.columns())
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if n := VisibleLen(c); n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	return w
+}
+
+// String renders the table with Unicode box-drawing borders.
+func (t *Table) String() string {
+	w := t.widths()
+	var b strings.Builder
+	rule := func(left, mid, right string) {
+		b.WriteString(left)
+		for i, width := range w {
+			b.WriteString(strings.Repeat("─", width+2))
+			if i < len(w)-1 {
+				b.WriteString(mid)
+			}
+		}
+		b.WriteString(right)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("│")
+		for i, width := range w {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, " %s │", Pad(cell, width))
+		}
+		b.WriteByte('\n')
+	}
+	rule("┌", "┬", "┐")
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		rule("├", "┼", "┤")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	rule("└", "┴", "┘")
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package voxel
+
+import "fmt"
+
+// Animation is MagicaVoxel-style "simple animation": a looping
+// sequence of voxel frames (Table II's animation row). The game uses
+// it for the box-drop effect when a packet is placed.
+type Animation struct {
+	// Name identifies the animation.
+	Name string
+	// Frames are the voxel models in display order.
+	Frames []*Model
+	// FrameTime is seconds per frame.
+	FrameTime float64
+}
+
+// NewAnimation validates and builds an animation. All frames must
+// share dimensions.
+func NewAnimation(name string, frameTime float64, frames ...*Model) (*Animation, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("voxel: animation %q has no frames", name)
+	}
+	if frameTime <= 0 {
+		return nil, fmt.Errorf("voxel: animation %q frame time must be positive", name)
+	}
+	w0, h0, d0 := frames[0].Size()
+	for i, f := range frames[1:] {
+		w, h, d := f.Size()
+		if w != w0 || h != h0 || d != d0 {
+			return nil, fmt.Errorf("voxel: animation %q frame %d is %dx%dx%d, want %dx%dx%d", name, i+1, w, h, d, w0, h0, d0)
+		}
+	}
+	return &Animation{Name: name, Frames: frames, FrameTime: frameTime}, nil
+}
+
+// Len returns the frame count.
+func (a *Animation) Len() int { return len(a.Frames) }
+
+// Duration returns one loop's length in seconds.
+func (a *Animation) Duration() float64 {
+	return float64(len(a.Frames)) * a.FrameTime
+}
+
+// FrameAt returns the frame displayed at time t, looping.
+func (a *Animation) FrameAt(t float64) *Model {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t/a.FrameTime) % len(a.Frames)
+	return a.Frames[idx]
+}
+
+// BoxDropAnimation builds the packet-placement effect: a box
+// descending onto the pallet over the given number of frames.
+func BoxDropAnimation(frames int) (*Animation, error) {
+	if frames < 2 {
+		return nil, fmt.Errorf("voxel: box drop needs at least 2 frames, got %d", frames)
+	}
+	box := Box()
+	height := BoxSize + frames
+	var seq []*Model
+	for f := 0; f < frames; f++ {
+		frame := New(BoxSize, height, BoxSize)
+		// The box starts high and lands at y=0 on the last frame.
+		drop := (frames - 1 - f) * (height - BoxSize) / (frames - 1)
+		for y := 0; y < BoxSize; y++ {
+			for z := 0; z < BoxSize; z++ {
+				for x := 0; x < BoxSize; x++ {
+					if c := box.At(x, y, z); c != Empty {
+						frame.Set(x, y+drop, z, c)
+					}
+				}
+			}
+		}
+		seq = append(seq, frame)
+	}
+	return NewAnimation("box-drop", 0.05, seq...)
+}

@@ -1,0 +1,85 @@
+package voxel
+
+// Built-in warehouse assets in the spirit of the paper's
+// MagicaVoxel set: "the shipping warehouse metaphor lends itself to a
+// simple 3D design (floor, pallets, and boxes)". Dimensions are in
+// voxels; the renderer treats one pallet footprint as one matrix
+// cell.
+
+// PalletSize is the footprint (width and depth) of a pallet model.
+const PalletSize = 8
+
+// Pallet returns a shipping-pallet model: two deck layers of slats
+// over three bearers, painted with the given material index
+// (PaintWood for the default material, or a MaterialForColorCode
+// result for the colored state).
+func Pallet(material uint8) *Model {
+	m := New(PalletSize, 3, PalletSize)
+	// Bottom bearers: three rails along Z.
+	for _, x := range []int{0, PalletSize/2 - 1, PalletSize - 2} {
+		m.Fill(x, 0, 0, x+1, 0, PalletSize-1, material)
+	}
+	// Middle spacer blocks on each bearer.
+	for _, x := range []int{0, PalletSize/2 - 1, PalletSize - 2} {
+		for _, z := range []int{0, PalletSize/2 - 1, PalletSize - 2} {
+			m.Fill(x, 1, z, x+1, 1, z+1, material)
+		}
+	}
+	// Top deck: slats along X with one-voxel gaps.
+	for z := 0; z < PalletSize; z += 2 {
+		m.Fill(0, 2, z, PalletSize-1, 2, z, material)
+	}
+	return m
+}
+
+// BoxSize is the edge length of a packet box model.
+const BoxSize = 4
+
+// Box returns a cardboard packet box with a tape stripe across the
+// top: the unit of traffic in the game (one box = one packet).
+func Box() *Model {
+	m := New(BoxSize, BoxSize, BoxSize)
+	m.Fill(0, 0, 0, BoxSize-1, BoxSize-1, BoxSize-1, PaintCardb)
+	// Tape stripe across the top, wrapping down two sides.
+	mid := BoxSize / 2
+	m.Fill(0, BoxSize-1, mid-1, BoxSize-1, BoxSize-1, mid-1, PaintTape)
+	m.Fill(0, 0, mid-1, 0, BoxSize-1, mid-1, PaintTape)
+	m.Fill(BoxSize-1, 0, mid-1, BoxSize-1, BoxSize-1, mid-1, PaintTape)
+	return m
+}
+
+// FloorTile returns one checkerboard warehouse floor tile; alt
+// selects the accent shade.
+func FloorTile(alt bool) *Model {
+	m := New(PalletSize, 1, PalletSize)
+	color := uint8(PaintFloor)
+	if alt {
+		color = PaintFloorAlt
+	}
+	m.Fill(0, 0, 0, PalletSize-1, 0, PalletSize-1, color)
+	return m
+}
+
+// LabelPlinth returns the small steel stand that carries an axis
+// label in the 3D view.
+func LabelPlinth() *Model {
+	m := New(PalletSize, 4, 2)
+	m.Fill(PalletSize/2-1, 0, 0, PalletSize/2, 2, 1, PaintSteel)
+	m.Fill(0, 3, 0, PalletSize-1, 3, 1, PaintWhite)
+	return m
+}
+
+// BuiltinAssets returns the named asset set the game ships with.
+func BuiltinAssets() map[string]*Model {
+	return map[string]*Model{
+		"pallet":       Pallet(PaintWood),
+		"pallet_grey":  Pallet(PaintGrey),
+		"pallet_blue":  Pallet(PaintBlue),
+		"pallet_red":   Pallet(PaintRed),
+		"pallet_black": Pallet(PaintBlack),
+		"box":          Box(),
+		"floor":        FloorTile(false),
+		"floor_alt":    FloorTile(true),
+		"label_plinth": LabelPlinth(),
+	}
+}

@@ -1,0 +1,136 @@
+package voxel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// A compact binary container for voxel models, standing in for the
+// .vox files MagicaVoxel saves. Layout (little endian):
+//
+//	magic   [4]byte  "TWVX"
+//	version uint16   1
+//	w,h,d   uint16 each
+//	palette 16 × 3 bytes RGB
+//	cells   run-length encoded: pairs of (count uint16, color uint8)
+//
+// Run-length encoding suits voxel art: large same-color and empty
+// runs dominate.
+
+var codecMagic = [4]byte{'T', 'W', 'V', 'X'}
+
+// codecVersion is the current container version.
+const codecVersion = 1
+
+// Encode serializes the model.
+func Encode(w io.Writer, m *Model) error {
+	var b bytes.Buffer
+	b.Write(codecMagic[:])
+	width, height, depth := m.Size()
+	for _, v := range []uint16{codecVersion, uint16(width), uint16(height), uint16(depth)} {
+		if err := binary.Write(&b, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("voxel: encode: %w", err)
+		}
+	}
+	for _, c := range m.Palette() {
+		b.Write([]byte{c.R, c.G, c.B})
+	}
+	// Run-length encode cells in storage order.
+	flat := make([]uint8, 0, width*height*depth)
+	for y := 0; y < height; y++ {
+		for z := 0; z < depth; z++ {
+			for x := 0; x < width; x++ {
+				flat = append(flat, m.At(x, y, z))
+			}
+		}
+	}
+	for i := 0; i < len(flat); {
+		color := flat[i]
+		run := 1
+		for i+run < len(flat) && flat[i+run] == color && run < 0xffff {
+			run++
+		}
+		if err := binary.Write(&b, binary.LittleEndian, uint16(run)); err != nil {
+			return fmt.Errorf("voxel: encode: %w", err)
+		}
+		b.WriteByte(color)
+		i += run
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Decode reads a model serialized by Encode. It validates the magic,
+// version, dimensions, and total cell count.
+func Decode(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("voxel: decode: %w", err)
+	}
+	buf := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(buf, magic[:]); err != nil {
+		return nil, fmt.Errorf("voxel: decode: short header: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("voxel: decode: bad magic %q", magic)
+	}
+	var version, w16, h16, d16 uint16
+	for _, p := range []*uint16{&version, &w16, &h16, &d16} {
+		if err := binary.Read(buf, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("voxel: decode: short header: %w", err)
+		}
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("voxel: decode: unsupported version %d", version)
+	}
+	w, h, d := int(w16), int(h16), int(d16)
+	if w == 0 || h == 0 || d == 0 {
+		return nil, fmt.Errorf("voxel: decode: zero dimension %dx%dx%d", w, h, d)
+	}
+	m := New(w, h, d)
+	var p Palette
+	for i := range p {
+		var rgb [3]byte
+		if _, err := io.ReadFull(buf, rgb[:]); err != nil {
+			return nil, fmt.Errorf("voxel: decode: short palette: %w", err)
+		}
+		p[i] = RGB{R: rgb[0], G: rgb[1], B: rgb[2]}
+	}
+	m.SetPalette(p)
+	total := w * h * d
+	flat := make([]uint8, 0, total)
+	for len(flat) < total {
+		var run uint16
+		if err := binary.Read(buf, binary.LittleEndian, &run); err != nil {
+			return nil, fmt.Errorf("voxel: decode: short cell data: %w", err)
+		}
+		color, err := buf.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("voxel: decode: short cell data: %w", err)
+		}
+		if int(run) == 0 || len(flat)+int(run) > total {
+			return nil, fmt.Errorf("voxel: decode: run of %d overflows %d cells", run, total)
+		}
+		for k := 0; k < int(run); k++ {
+			flat = append(flat, color)
+		}
+	}
+	if buf.Len() != 0 {
+		return nil, fmt.Errorf("voxel: decode: %d trailing bytes", buf.Len())
+	}
+	i := 0
+	for y := 0; y < h; y++ {
+		for z := 0; z < d; z++ {
+			for x := 0; x < w; x++ {
+				if flat[i] != Empty {
+					m.Set(x, y, z, flat[i])
+				}
+				i++
+			}
+		}
+	}
+	return m, nil
+}

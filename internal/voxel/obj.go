@@ -1,0 +1,104 @@
+package voxel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Wavefront OBJ/MTL export. "Can export to .obj: Yes" is the Table II
+// capability that lets assets flow from the modeling tool into the
+// game engine; this writer produces files loadable by Godot, Blender,
+// or any OBJ consumer.
+
+// WriteOBJ writes the mesh as an OBJ document referencing material
+// names "paintN" defined by WriteMTL. Vertices are deduplicated;
+// faces are grouped by material. The name parameter becomes the
+// object name.
+func WriteOBJ(w io.Writer, mesh *Mesh, name, mtlFile string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Traffic Warehouse voxel export\no %s\n", sanitizeName(name))
+	if mtlFile != "" {
+		fmt.Fprintf(&b, "mtllib %s\n", mtlFile)
+	}
+
+	// Deduplicate vertices.
+	vertexID := make(map[Vec3]int)
+	var vertices []Vec3
+	idOf := func(v Vec3) int {
+		if id, ok := vertexID[v]; ok {
+			return id
+		}
+		id := len(vertices) + 1 // OBJ indices are 1-based
+		vertexID[v] = id
+		vertices = append(vertices, v)
+		return id
+	}
+	type face struct {
+		color uint8
+		ids   [4]int
+	}
+	faces := make([]face, 0, len(mesh.Quads))
+	for _, q := range mesh.Quads {
+		corners := [4]Vec3{
+			q.Origin,
+			{q.Origin.X + q.DU.X, q.Origin.Y + q.DU.Y, q.Origin.Z + q.DU.Z},
+			{q.Origin.X + q.DU.X + q.DV.X, q.Origin.Y + q.DU.Y + q.DV.Y, q.Origin.Z + q.DU.Z + q.DV.Z},
+			{q.Origin.X + q.DV.X, q.Origin.Y + q.DV.Y, q.Origin.Z + q.DV.Z},
+		}
+		var f face
+		f.color = q.Color
+		for i, c := range corners {
+			f.ids[i] = idOf(c)
+		}
+		faces = append(faces, f)
+	}
+	for _, v := range vertices {
+		fmt.Fprintf(&b, "v %d %d %d\n", v.X, v.Y, v.Z)
+	}
+	// Group faces by material for compact usemtl runs.
+	sort.SliceStable(faces, func(i, j int) bool { return faces[i].color < faces[j].color })
+	current := uint8(255)
+	for _, f := range faces {
+		if f.color != current {
+			current = f.color
+			fmt.Fprintf(&b, "usemtl paint%d\n", current)
+		}
+		fmt.Fprintf(&b, "f %d %d %d %d\n", f.ids[0], f.ids[1], f.ids[2], f.ids[3])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMTL writes material definitions for every palette index used
+// by the mesh.
+func WriteMTL(w io.Writer, mesh *Mesh) error {
+	used := make(map[uint8]bool)
+	for _, q := range mesh.Quads {
+		used[q.Color] = true
+	}
+	colors := make([]int, 0, len(used))
+	for c := range used {
+		colors = append(colors, int(c))
+	}
+	sort.Ints(colors)
+	var b strings.Builder
+	b.WriteString("# Traffic Warehouse voxel materials\n")
+	for _, c := range colors {
+		rgb := mesh.Palette[c]
+		fmt.Fprintf(&b, "newmtl paint%d\nKd %.4f %.4f %.4f\n",
+			c, float64(rgb.R)/255, float64(rgb.G)/255, float64(rgb.B)/255)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeName strips whitespace from an object name.
+func sanitizeName(name string) string {
+	fields := strings.Fields(name)
+	if len(fields) == 0 {
+		return "model"
+	}
+	return strings.Join(fields, "_")
+}

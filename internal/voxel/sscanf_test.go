@@ -1,0 +1,8 @@
+package voxel
+
+import "fmt"
+
+// sscanf parses an OBJ face line in tests.
+func sscanf(line string, a, b, c, d *int) (int, error) {
+	return fmt.Sscanf(line, "f %d %d %d %d", a, b, c, d)
+}

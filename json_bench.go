@@ -1,0 +1,12 @@
+package repro
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// newJSONDecoder exposes encoding/json's decoder to the strict-
+// baseline ablation bench without importing it in the test file.
+func newJSONDecoder(r io.Reader) *json.Decoder {
+	return json.NewDecoder(r)
+}
