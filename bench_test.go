@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -345,6 +346,120 @@ func BenchmarkNetsimDDoSScenario(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkScenarioThroughput measures the concurrent scenario
+// engine's event generation rate (events/s) at 1, 4, and NumCPU
+// workers over the sharded-COO aggregation path — the throughput
+// curve EXPERIMENTS.md records.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	net := netsim.ScaledNetwork(64)
+	s, ok := netsim.LookupScenario("ddos")
+	if !ok {
+		b.Fatal("ddos scenario missing")
+	}
+	p := netsim.Params{Scale: 64}
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				_, stats, err := netsim.GenerateMatrix(s, net, 7, workers, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = stats.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkTraceThroughput is the trace-materializing counterpart:
+// the full event list, sorted, at serial and parallel worker counts.
+func BenchmarkTraceThroughput(b *testing.B) {
+	net := netsim.ScaledNetwork(64)
+	s, ok := netsim.LookupScenario("background")
+	if !ok {
+		b.Fatal("background scenario missing")
+	}
+	p := netsim.Params{Duration: 120, Rate: 400, Scale: 4}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				trace, err := netsim.GenerateTrace(s, net, 7, workers, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = len(trace)
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkCOOMerge measures the aggregation hot path: merging
+// sharded COO accumulators against compacting one combined slice.
+func BenchmarkCOOMerge(b *testing.B) {
+	const shards, perShard = 8, 40000
+	build := func() []*matrix.COO {
+		rng := rand.New(rand.NewSource(13))
+		parts := make([]*matrix.COO, shards)
+		for s := range parts {
+			parts[s] = matrix.NewCOO(256, 256)
+			for k := 0; k < perShard; k++ {
+				parts[s].Add(rng.Intn(256), rng.Intn(256), 1+rng.Intn(6))
+			}
+		}
+		return parts
+	}
+	b.Run("merge-sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			parts := build()
+			b.StartTimer()
+			if _, err := matrix.MergeCOO(parts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compact-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			all := matrix.NewCOO(256, 256)
+			for _, p := range build() {
+				for _, e := range p.Entries() {
+					all.Add(e.Row, e.Col, e.Val)
+				}
+			}
+			b.StartTimer()
+			all.Compact()
+		}
+	})
+	b.Run("compact-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			all := matrix.NewCOO(256, 256)
+			for _, p := range build() {
+				for _, e := range p.Entries() {
+					all.Add(e.Row, e.Col, e.Val)
+				}
+			}
+			b.StartTimer()
+			all.CompactParallel(4)
+		}
+	})
 }
 
 func BenchmarkClassifyGraph(b *testing.B) {

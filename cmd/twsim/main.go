@@ -1,16 +1,21 @@
-// Command twsim runs network scenario simulations and shows the
-// traffic matrices they produce, window by window, with the pattern
-// classifier's reading of each window — the analyst's workflow the
-// game trains students for. It can also export any window as a
-// learning module, turning live traffic into lesson content.
+// Command twsim runs network scenario simulations from the netsim
+// catalog and shows the traffic matrices they produce, window by
+// window, with the pattern classifiers' reading of each window — the
+// analyst's workflow the game trains students for. Generation runs
+// on the concurrent scenario engine (-workers), scales to larger
+// networks (-hosts) and volumes (-scale), and can export any window
+// as a learning module, turning live traffic into lesson content.
+//
+// Run with -list to see the scenario catalog.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
@@ -28,10 +33,16 @@ func main() {
 }
 
 func run() error {
-	scenario := flag.String("scenario", "ddos", "scenario: background, scan, attack, ddos")
+	scenario := flag.String("scenario", "ddos", "scenario name from the catalog (see -list)")
+	list := flag.Bool("list", false, "list the scenario catalog and exit")
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Float64("duration", 40, "scenario length in seconds")
+	rate := flag.Float64("rate", 4, "intensity hint in events/sec for open-ended scenarios")
+	scale := flag.Int("scale", 1, "volume multiplier (script repetitions)")
+	workers := flag.Int("workers", 0, "generation workers (0 = all CPUs)")
+	hosts := flag.Int("hosts", 0, "network size (≤10 = the paper's standard 10-host network)")
 	window := flag.Float64("window", 10, "aggregation window in seconds")
+	noRender := flag.Bool("norender", false, "skip per-window matrix rendering (throughput runs)")
 	exportPath := flag.String("export", "", "export the busiest window as a module JSON file")
 	plain := flag.Bool("plain", false, "disable ANSI colors")
 	flag.Parse()
@@ -39,45 +50,51 @@ func run() error {
 		term.SetEnabled(false)
 	}
 
-	net := netsim.StandardNetwork()
-	rng := rand.New(rand.NewSource(*seed))
+	if *list {
+		return listCatalog()
+	}
+
+	s, ok := netsim.LookupScenario(*scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (run with -list to see the catalog)", *scenario)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("duration must be positive, got %g", *duration)
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("rate must be positive, got %g", *rate)
+	}
+	if *scale < 1 {
+		return fmt.Errorf("scale must be ≥ 1, got %d", *scale)
+	}
+	net := netsim.ScaledNetwork(*hosts)
 	zones, err := net.Zones()
 	if err != nil {
 		return err
 	}
+	p := netsim.Params{Duration: *duration, Rate: *rate, Scale: *scale}
 
-	var trace netsim.Trace
-	var truth []string
-	switch *scenario {
-	case "background":
-		trace, err = netsim.Background(net, rng, *duration, 4)
-	case "scan":
-		trace, err = netsim.Scan(net, rng, *duration)
-	case "attack":
-		var phases []netsim.AttackPhase
-		trace, phases, err = netsim.AttackScenario(net, rng, *duration)
-		for _, p := range phases {
-			truth = append(truth, fmt.Sprintf("[%5.1fs,%5.1fs) %s", p.Start, p.End, p.Stage))
-		}
-	case "ddos":
-		var phases []netsim.DDoSPhase
-		trace, phases, err = netsim.DDoSScenario(net, rng, *duration)
-		for _, p := range phases {
-			truth = append(truth, fmt.Sprintf("[%5.1fs,%5.1fs) %s", p.Start, p.End, p.Component))
-		}
-	default:
-		return fmt.Errorf("unknown scenario %q", *scenario)
-	}
+	start := time.Now()
+	trace, err := netsim.GenerateTrace(s, net, *seed, *workers, p)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 
-	fmt.Printf("scenario %s: %d events, %d packets over %.1fs\n",
-		*scenario, len(trace), trace.TotalPackets(), *duration)
-	if len(truth) > 0 {
+	fmt.Printf("scenario %s on %d hosts: %d events, %d packets over %.1fs\n",
+		s.Name(), net.Len(), len(trace), trace.TotalPackets(), *duration)
+	nworkers := *workers
+	if nworkers <= 0 {
+		nworkers = runtime.NumCPU()
+	}
+	fmt.Printf("generated in %v (%.0f events/sec, workers=%d)\n",
+		elapsed.Round(time.Microsecond),
+		float64(len(trace))/elapsed.Seconds(), nworkers)
+	fmt.Printf("expected shape: %s\n", s.Shape())
+	if sched, ok := s.(netsim.Scheduler); ok {
 		fmt.Println("ground truth schedule:")
-		for _, line := range truth {
-			fmt.Println("  " + line)
+		for _, ph := range sched.Schedule(p) {
+			fmt.Printf("  [%5.1fs,%5.1fs) %s\n", ph.Start, ph.End, ph.Label)
 		}
 	}
 
@@ -91,14 +108,16 @@ func run() error {
 	busiestSum := -1
 	for _, w := range windows {
 		fmt.Printf("\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Matrix.Sum())
-		fb, err := render.Matrix2D(w.Matrix, render.Matrix2DOptions{
-			Labels: net.Labels(),
-			Colors: zones.ColorMatrix(),
-		})
-		if err != nil {
-			return err
+		if !*noRender {
+			fb, err := render.Matrix2D(w.Matrix, render.Matrix2DOptions{
+				Labels: net.Labels(),
+				Colors: zones.ColorMatrix(),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(fb.ANSI())
 		}
-		fmt.Print(fb.ANSI())
 		if w.Matrix.NNZ() == 0 {
 			continue
 		}
@@ -119,8 +138,19 @@ func run() error {
 		}
 	}
 
+	// The whole-run readings: aggregate the trace already in hand
+	// and ask every classifier family.
+	aggregate, _ := trace.Matrix(net)
+	fmt.Println("\n── aggregate readings")
+	if behavior, conf := patterns.ClassifyBehavior(aggregate, zones); behavior != patterns.BehaviorUnknown {
+		fmt.Printf("   behavior:  %s (%.2f)\n", behavior, conf)
+	}
+	fmt.Printf("   topology:  %s\n", patterns.ClassifyTopology(aggregate, zones))
+	stage, conf := patterns.ClassifyAttackStage(aggregate, zones)
+	fmt.Printf("   attack:    %s (%.2f)\n", stage, conf)
+
 	if *exportPath != "" && busiest != nil {
-		m := moduleFromMatrix(busiest, net, zones, *scenario)
+		m := moduleFromMatrix(busiest, net, zones, s.Name())
 		data, err := core.EncodeModule(m)
 		if err != nil {
 			return err
@@ -129,6 +159,17 @@ func run() error {
 			return err
 		}
 		fmt.Printf("\nexported busiest window as %s\n", *exportPath)
+	}
+	return nil
+}
+
+// listCatalog prints every registered scenario with its shape and
+// description.
+func listCatalog() error {
+	fmt.Println("scenario catalog:")
+	for _, s := range netsim.Scenarios() {
+		fmt.Printf("  %-12s %s\n", s.Name(), s.Description())
+		fmt.Printf("  %-12s └ shape: %s\n", "", s.Shape())
 	}
 	return nil
 }

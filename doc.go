@@ -5,10 +5,13 @@
 // every substrate the paper's artifact depends on — a scene-tree
 // engine, a GDScript interpreter, voxel assets with OBJ export, a
 // terminal/PPM renderer, the module pattern library with
-// classifiers, and a network scenario simulator.
+// classifiers, and a concurrent network scenario engine whose
+// eight-scenario catalog generates deterministic traffic in
+// parallel (internal/netsim).
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-versus-measured record. The root
-// package holds the benchmark harness (bench_test.go) that
-// regenerates every table and figure.
+// See README.md for a tour, DESIGN.md for the system inventory and
+// dependency graph, and EXPERIMENTS.md for the paper-versus-measured
+// record. The root package holds the benchmark harness
+// (bench_test.go) that regenerates every table and figure and
+// records the scenario engine's throughput curve.
 package repro

@@ -54,29 +54,8 @@ func (c *COO) Compact() *COO {
 	if len(c.entries) == 0 {
 		return c
 	}
-	sort.Slice(c.entries, func(a, b int) bool {
-		ea, eb := c.entries[a], c.entries[b]
-		if ea.Row != eb.Row {
-			return ea.Row < eb.Row
-		}
-		return ea.Col < eb.Col
-	})
-	out := c.entries[:0]
-	for _, e := range c.entries {
-		if n := len(out); n > 0 && out[n-1].Row == e.Row && out[n-1].Col == e.Col {
-			out[n-1].Val += e.Val
-			continue
-		}
-		out = append(out, e)
-	}
-	// Drop zero-sum cells.
-	filtered := out[:0]
-	for _, e := range out {
-		if e.Val != 0 {
-			filtered = append(filtered, e)
-		}
-	}
-	c.entries = filtered
+	sortEntries(c.entries)
+	c.entries = dedupSorted(c.entries)
 	return c
 }
 

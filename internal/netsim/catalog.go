@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Params configures one scenario run. Zero values select sensible
+// defaults, so Params{} is always runnable on any network a scenario
+// accepts.
+type Params struct {
+	// Duration is the scenario length in seconds (default 40).
+	Duration float64
+	// Rate is the intensity hint in events per second for the
+	// scenarios that stream open-ended traffic (default 4). Scripted
+	// scenarios with fixed casts (attack, ddos, worm) ignore it.
+	Rate float64
+	// Scale multiplies the scenario's volume by repeating its script
+	// (default 1). Scaled repetitions shard cleanly across workers.
+	Scale int
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (p Params) withDefaults() Params {
+	if p.Duration <= 0 {
+		p.Duration = 40
+	}
+	if p.Rate <= 0 {
+		p.Rate = 4
+	}
+	if p.Scale < 1 {
+		p.Scale = 1
+	}
+	return p
+}
+
+// Scenario is a pluggable traffic script. Instead of returning one
+// monolithic trace, a scenario partitions its workload into
+// independent chunks; each chunk is generated with its own
+// deterministically seeded RNG, so any assignment of chunks to
+// workers accumulates the same aggregate traffic matrix. This is the
+// contract that makes parallel generation reproducible: the engine
+// may run chunks in any order on any number of goroutines.
+type Scenario interface {
+	// Name is the catalog key ("ddos", "worm", …).
+	Name() string
+	// Description is a one-line summary for catalog listings.
+	Description() string
+	// Shape names the traffic-matrix pattern the scenario draws —
+	// the concept a student should recognize in the aggregate.
+	Shape() string
+	// Chunks returns the number of independent generation units for
+	// the configuration. It must be ≥ 1 and must not depend on
+	// worker count.
+	Chunks(net *Network, p Params) int
+	// Emit generates chunk k's events through emit. It must derive
+	// all randomness from rng and must not retain state across
+	// calls: chunk k's output is a pure function of (net, p, k) and
+	// the rng it is handed.
+	Emit(net *Network, rng *rand.Rand, p Params, chunk int, emit func(Event)) error
+}
+
+// Phase is one labeled interval of a scripted scenario's timeline:
+// the ground truth an analyst exercise grades against.
+type Phase struct {
+	// Label names the phase (an attack stage, a DDoS component…).
+	Label string
+	// Start and End bound the phase in seconds.
+	Start, End float64
+}
+
+// Scheduler is implemented by scenarios whose script follows a fixed
+// phase timeline. The engine and twsim surface the schedule as
+// ground truth next to the classifier's reading.
+type Scheduler interface {
+	Schedule(p Params) []Phase
+}
+
+// registry holds the catalog keyed by name.
+var registry = map[string]Scenario{}
+
+// Register adds a scenario to the catalog, rejecting empty and
+// duplicate names.
+func Register(s Scenario) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("netsim: scenario with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("netsim: duplicate scenario %q", name)
+	}
+	registry[name] = s
+	return nil
+}
+
+// mustRegister registers the built-in catalog at init time.
+func mustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// LookupScenario finds a catalog entry by name.
+func LookupScenario(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Scenarios returns the catalog sorted by name.
+func Scenarios() []Scenario {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Scenario, len(names))
+	for i, name := range names {
+		out[i] = registry[name]
+	}
+	return out
+}
+
+func init() {
+	mustRegister(backgroundScenario{})
+	mustRegister(scanScenario{})
+	mustRegister(attackScenario{})
+	mustRegister(ddosScenario{})
+	mustRegister(wormScenario{})
+	mustRegister(exfilScenario{})
+	mustRegister(flashCrowdScenario{})
+	mustRegister(beaconScenario{})
+}

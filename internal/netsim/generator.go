@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+)
+
+// The concurrent generation engine. A scenario partitions its
+// workload into chunks (see the Scenario contract in catalog.go);
+// the engine fans the chunk indices across a worker pool. Each chunk
+// is generated with a private RNG seeded from (seed, chunk), so the
+// set of events produced is a pure function of the configuration —
+// never of the worker count or of scheduling order. Workers
+// accumulate into private stores (a per-chunk trace slot, or a
+// per-worker COO shard) that are merged order-insensitively at the
+// end, which is what makes the aggregate output deterministic.
+
+// Stats summarizes one generation run. All fields are sums over
+// chunks, so they are identical for any worker count.
+type Stats struct {
+	// Events is the number of events generated.
+	Events int
+	// Packets is the total packet volume generated.
+	Packets int
+	// Dropped is the packet volume naming hosts outside the network
+	// axis (only possible for scenarios emitting foreign names).
+	Dropped int
+}
+
+// chunkSeed derives the deterministic RNG seed of chunk k from the
+// run seed by splitmix64 finalization, decorrelating neighbouring
+// chunks.
+func chunkSeed(seed int64, chunk int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(chunk+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// chunkRNG returns chunk k's private random source.
+func chunkRNG(seed int64, chunk int) *rand.Rand {
+	return rand.New(rand.NewSource(chunkSeed(seed, chunk)))
+}
+
+// planRun validates the configuration and resolves the chunk and
+// worker counts. workers ≤ 0 selects runtime.NumCPU().
+func planRun(s Scenario, net *Network, workers int, p Params) (chunks, nworkers int, pd Params, err error) {
+	if s == nil {
+		return 0, 0, p, fmt.Errorf("netsim: nil scenario")
+	}
+	if net == nil {
+		return 0, 0, p, fmt.Errorf("netsim: nil network")
+	}
+	pd = p.withDefaults()
+	chunks = s.Chunks(net, pd)
+	if chunks < 1 {
+		return 0, 0, pd, fmt.Errorf("netsim: scenario %q reported %d chunks", s.Name(), chunks)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	return chunks, workers, pd, nil
+}
+
+// runChunks drives the worker pool: each worker claims chunk indices
+// from a shared counter and hands (worker, chunk, rng) to fn. The
+// first error stops the run and is returned.
+func runChunks(chunks, workers int, seed int64, fn func(worker, chunk int, rng *rand.Rand) error) error {
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				k := int(next.Add(1)) - 1
+				if k >= chunks {
+					return
+				}
+				if err := fn(w, k, chunkRNG(seed, k)); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateTrace generates the scenario's full event trace on the
+// given number of workers (≤ 0 selects runtime.NumCPU()). The trace
+// is identical for any worker count: chunks land in per-chunk slots,
+// are concatenated in chunk order, and the final sort is stable on
+// equal timestamps.
+func GenerateTrace(s Scenario, net *Network, seed int64, workers int, p Params) (Trace, error) {
+	chunks, workers, pd, err := planRun(s, net, workers, p)
+	if err != nil {
+		return nil, err
+	}
+	perChunk := make([][]Event, chunks)
+	err = runChunks(chunks, workers, seed, func(_, k int, rng *rand.Rand) error {
+		var buf []Event
+		if err := s.Emit(net, rng, pd, k, func(e Event) { buf = append(buf, e) }); err != nil {
+			return err
+		}
+		perChunk[k] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, buf := range perChunk {
+		total += len(buf)
+	}
+	trace := make(Trace, 0, total)
+	for _, buf := range perChunk {
+		trace = append(trace, buf...)
+	}
+	trace.Sort()
+	return trace, nil
+}
+
+// GenerateMatrix generates the scenario and aggregates it straight
+// into a sparse traffic matrix, skipping trace materialization: each
+// worker streams its chunks' events into a private COO shard, and
+// the shards are merged and compacted by matrix.MergeCOO. Because
+// duplicate COO coordinates sum on compaction, the merged matrix is
+// identical for any worker count. Events naming hosts outside the
+// network axis are counted in Stats.Dropped, mirroring
+// Trace.Matrix.
+func GenerateMatrix(s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.COO, Stats, error) {
+	chunks, workers, pd, err := planRun(s, net, workers, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := net.Len()
+	shards := make([]*matrix.COO, workers)
+	partial := make([]Stats, workers)
+	for w := range shards {
+		shards[w] = matrix.NewCOO(n, n)
+	}
+	err = runChunks(chunks, workers, seed, func(w, k int, rng *rand.Rand) error {
+		acc, st := shards[w], &partial[w]
+		return s.Emit(net, rng, pd, k, func(e Event) {
+			st.Events++
+			st.Packets += e.Packets
+			i, iok := net.Index(e.Src)
+			j, jok := net.Index(e.Dst)
+			if !iok || !jok {
+				st.Dropped += e.Packets
+				return
+			}
+			acc.Add(i, j, e.Packets)
+		})
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	merged, err := matrix.MergeCOO(shards...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	for _, st := range partial {
+		stats.Events += st.Events
+		stats.Packets += st.Packets
+		stats.Dropped += st.Dropped
+	}
+	return merged, stats, nil
+}

@@ -1,11 +1,3 @@
-// Package netsim simulates the network behaviours the learning
-// modules teach, at packet-event granularity. Where the paper's
-// figures are hand-drawn snapshots, netsim generates the same shapes
-// live: scripted scenarios (benign background, scanning, the
-// four-stage notional attack, the four-component DDoS) emit
-// timestamped events that aggregate into traffic matrices, which the
-// pattern classifiers then recognize. The analyst examples and the
-// Fig 9 cross-check build on this substrate.
 package netsim
 
 import (
@@ -101,6 +93,50 @@ func StandardNetwork() *Network {
 	})
 	if err != nil {
 		panic(err) // static host list cannot fail
+	}
+	return n
+}
+
+// ScaledNetwork returns a network of approximately the requested
+// size with the standard role mix (~65% workstations, 5% servers,
+// 15% externals, 15% adversaries) and the floors every catalog
+// scenario's cast needs (≥3 workstations, ≥1 server, ≥2 externals,
+// ≥4 adversaries). Hosts are ordered workstations, servers,
+// externals, adversaries, preserving the blue→grey→red zone layout.
+// Sizes below the 10-host floor return the paper's StandardNetwork.
+func ScaledNetwork(hosts int) *Network {
+	if hosts <= 10 {
+		return StandardNetwork()
+	}
+	adv := hosts * 3 / 20
+	if adv < 4 {
+		adv = 4
+	}
+	ext := hosts * 3 / 20
+	if ext < 2 {
+		ext = 2
+	}
+	srv := hosts / 20
+	if srv < 1 {
+		srv = 1
+	}
+	ws := hosts - adv - ext - srv
+	if ws < 3 {
+		ws = 3
+	}
+	list := make([]Host, 0, ws+srv+ext+adv)
+	add := func(n int, prefix string, role Role) {
+		for i := 1; i <= n; i++ {
+			list = append(list, Host{Name: fmt.Sprintf("%s%d", prefix, i), Role: role})
+		}
+	}
+	add(ws, "WS", RoleWorkstation)
+	add(srv, "SRV", RoleServer)
+	add(ext, "EXT", RoleExternal)
+	add(adv, "ADV", RoleAdversary)
+	n, err := NewNetwork(list)
+	if err != nil {
+		panic(err) // generated host list cannot collide
 	}
 	return n
 }
