@@ -266,6 +266,92 @@ func BenchmarkAblationAggregation(b *testing.B) {
 	}
 }
 
+// ——— Sparse end-to-end analysis: CSR vs Dense at scale ———
+
+// BenchmarkSparseAnalysis measures Profile + ClassifyBehavior on the
+// same scenario-generated traffic matrix through both
+// representations at 1k/10k/50k hosts. The Dense path scans all n²
+// cells; the CSR path visits stored entries through the
+// matrix.Matrix accessor. The 50k Dense leg is omitted: the dense
+// matrix alone would be 20 GB, which is exactly the point of the
+// sparse path.
+func BenchmarkSparseAnalysis(b *testing.B) {
+	s, ok := netsim.LookupScenario("flashcrowd")
+	if !ok {
+		b.Fatal("flashcrowd scenario missing")
+	}
+	for _, hosts := range []int{1000, 10000, 50000} {
+		net := netsim.ScaledNetwork(hosts)
+		zones, err := net.Zones()
+		if err != nil {
+			b.Fatal(err)
+		}
+		csr, _, err := netsim.GenerateCSR(s, net, 7, 0, netsim.Params{Duration: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hosts <= 10000 {
+			b.Run(fmt.Sprintf("Dense/hosts=%d", hosts), func(b *testing.B) {
+				d := csr.ToDense()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := matrix.NewProfile(d)
+					beh, _ := patterns.ClassifyBehavior(d, zones)
+					if p.N < 0 || beh == patterns.BehaviorUnknown {
+						b.Fatal("dense analysis failed")
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("CSR/hosts=%d", hosts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := matrix.ProfileOf(csr)
+				beh, _ := patterns.ClassifyBehaviorOf(csr, zones)
+				if p.N < 0 || beh == patterns.BehaviorUnknown {
+					b.Fatal("sparse analysis failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSemiringMatMul compares the dense semiring product with
+// the parallel SpGEMM kernel on a 256-vertex random graph at 2%
+// density, over the two semirings whose dense and sparse semantics
+// coincide.
+func BenchmarkSemiringMatMul(b *testing.B) {
+	const n, nnz = 256, 1310 // ≈2% density
+	rng := rand.New(rand.NewSource(21))
+	coo := matrix.NewCOO(n, n)
+	for k := 0; k < nnz; k++ {
+		coo.Add(rng.Intn(n), rng.Intn(n), 1+rng.Intn(5))
+	}
+	csr := coo.ToCSR()
+	dense := csr.ToDense()
+	for _, s := range []matrix.Semiring{matrix.PlusTimes, matrix.OrAnd} {
+		b.Run("Dense/"+s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := matrix.MulSemiring(dense, dense, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("CSR/%s/workers=%d", s.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := matrix.MatMulCSR(csr, csr, s, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // ——— Ablation: the paper's GDScript vs the native Go port ———
 
 func BenchmarkAblationController(b *testing.B) {

@@ -5,13 +5,20 @@
 // on the concurrent scenario engine (-workers), scales to larger
 // networks (-hosts) and volumes (-scale), and can export any window
 // as a learning module, turning live traffic into lesson content.
+// The whole-run aggregate readings fold the trace into a CSR and
+// classify it through the matrix.Matrix accessor, reporting the
+// sparse-path timings — the aggregate analysis never materializes an
+// n² matrix (the per-window view still renders dense matrices, which
+// is inherent to drawing them).
 //
 // Run with -list to see the scenario catalog.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -26,32 +33,48 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "twsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	scenario := flag.String("scenario", "ddos", "scenario name from the catalog (see -list)")
-	list := flag.Bool("list", false, "list the scenario catalog and exit")
-	seed := flag.Int64("seed", 42, "random seed")
-	duration := flag.Float64("duration", 40, "scenario length in seconds")
-	rate := flag.Float64("rate", 4, "intensity hint in events/sec for open-ended scenarios")
-	scale := flag.Int("scale", 1, "volume multiplier (script repetitions)")
-	workers := flag.Int("workers", 0, "generation workers (0 = all CPUs)")
-	hosts := flag.Int("hosts", 0, "network size (≤10 = the paper's standard 10-host network)")
-	window := flag.Float64("window", 10, "aggregation window in seconds")
-	noRender := flag.Bool("norender", false, "skip per-window matrix rendering (throughput runs)")
-	exportPath := flag.String("export", "", "export the busiest window as a module JSON file")
-	plain := flag.Bool("plain", false, "disable ANSI colors")
-	flag.Parse()
+// run is the testable entry point: it parses args with a private
+// FlagSet and writes all output to stdout, so golden tests can drive
+// the full command without forking a process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("twsim", flag.ContinueOnError)
+	// Parse errors are reported once by the caller (to stderr in
+	// production); only an explicit -h prints usage, to stdout.
+	fs.SetOutput(io.Discard)
+	scenario := fs.String("scenario", "ddos", "scenario name from the catalog (see -list)")
+	list := fs.Bool("list", false, "list the scenario catalog and exit")
+	seed := fs.Int64("seed", 42, "random seed")
+	duration := fs.Float64("duration", 40, "scenario length in seconds")
+	rate := fs.Float64("rate", 4, "intensity hint in events/sec for open-ended scenarios")
+	scale := fs.Int("scale", 1, "volume multiplier (script repetitions)")
+	workers := fs.Int("workers", 0, "generation workers (0 = all CPUs)")
+	hosts := fs.Int("hosts", 0, "network size (≤10 = the paper's standard 10-host network)")
+	window := fs.Float64("window", 10, "aggregation window in seconds")
+	noRender := fs.Bool("norender", false, "skip per-window matrix rendering (throughput runs)")
+	exportPath := fs.String("export", "", "export the busiest window as a module JSON file")
+	plain := fs.Bool("plain", false, "disable ANSI colors")
+	if err := fs.Parse(args); err != nil {
+		// -h/-help is a success, not an error (matching the old
+		// ExitOnError behaviour's exit 0).
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(stdout)
+			fs.Usage()
+			return nil
+		}
+		return fmt.Errorf("%w (run twsim -h for usage)", err)
+	}
 	if *plain {
 		term.SetEnabled(false)
 	}
 
 	if *list {
-		return listCatalog()
+		return listCatalog(stdout)
 	}
 
 	s, ok := netsim.LookupScenario(*scenario)
@@ -81,20 +104,20 @@ func run() error {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("scenario %s on %d hosts: %d events, %d packets over %.1fs\n",
+	fmt.Fprintf(stdout, "scenario %s on %d hosts: %d events, %d packets over %.1fs\n",
 		s.Name(), net.Len(), len(trace), trace.TotalPackets(), *duration)
 	nworkers := *workers
 	if nworkers <= 0 {
 		nworkers = runtime.NumCPU()
 	}
-	fmt.Printf("generated in %v (%.0f events/sec, workers=%d)\n",
+	fmt.Fprintf(stdout, "generated in %v (%.0f events/sec, workers=%d)\n",
 		elapsed.Round(time.Microsecond),
 		float64(len(trace))/elapsed.Seconds(), nworkers)
-	fmt.Printf("expected shape: %s\n", s.Shape())
+	fmt.Fprintf(stdout, "expected shape: %s\n", s.Shape())
 	if sched, ok := s.(netsim.Scheduler); ok {
-		fmt.Println("ground truth schedule:")
+		fmt.Fprintln(stdout, "ground truth schedule:")
 		for _, ph := range sched.Schedule(p) {
-			fmt.Printf("  [%5.1fs,%5.1fs) %s\n", ph.Start, ph.End, ph.Label)
+			fmt.Fprintf(stdout, "  [%5.1fs,%5.1fs) %s\n", ph.Start, ph.End, ph.Label)
 		}
 	}
 
@@ -107,7 +130,7 @@ func run() error {
 	var busiest *matrix.Dense
 	busiestSum := -1
 	for _, w := range windows {
-		fmt.Printf("\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Matrix.Sum())
+		fmt.Fprintf(stdout, "\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Matrix.Sum())
 		if !*noRender {
 			fb, err := render.Matrix2D(w.Matrix, render.Matrix2DOptions{
 				Labels: net.Labels(),
@@ -116,20 +139,20 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(fb.ANSI())
+			fmt.Fprint(stdout, fb.ANSI())
 		}
 		if w.Matrix.NNZ() == 0 {
 			continue
 		}
 		stage, conf := patterns.ClassifyAttackStage(w.Matrix, zones)
-		fmt.Printf("   attack-stage reading: %s (%.2f)\n", stage, conf)
+		fmt.Fprintf(stdout, "   attack-stage reading: %s (%.2f)\n", stage, conf)
 		if rolesErr == nil {
 			component, dconf := patterns.ClassifyDDoS(w.Matrix, roles)
-			fmt.Printf("   ddos reading:         %s (%.2f)\n", component, dconf)
+			fmt.Fprintf(stdout, "   ddos reading:         %s (%.2f)\n", component, dconf)
 		}
 		if hubs := matrix.Supernodes(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
 			h := hubs[0]
-			fmt.Printf("   busiest hub:          %s (%s fan %d, %d packets)\n",
+			fmt.Fprintf(stdout, "   busiest hub:          %s (%s fan %d, %d packets)\n",
 				net.Labels()[h.Index], h.Direction, h.Fan, h.Packets)
 		}
 		if w.Matrix.Sum() > busiestSum {
@@ -138,16 +161,34 @@ func run() error {
 		}
 	}
 
-	// The whole-run readings: aggregate the trace already in hand
-	// and ask every classifier family.
-	aggregate, _ := trace.Matrix(net)
-	fmt.Println("\n── aggregate readings")
-	if behavior, conf := patterns.ClassifyBehavior(aggregate, zones); behavior != patterns.BehaviorUnknown {
-		fmt.Printf("   behavior:  %s (%.2f)\n", behavior, conf)
+	// The whole-run readings go through the sparse path: the trace
+	// already in hand folds into a CSR in one linear pass and is
+	// analyzed through the accessor interface — no second generation
+	// run, no dense n² materialization.
+	aggStart := time.Now()
+	csr, _ := trace.SparseMatrix(net)
+	aggElapsed := time.Since(aggStart)
+	analyzeStart := time.Now()
+	profile := matrix.ProfileOf(csr)
+	behavior, bconf := patterns.ClassifyBehaviorOf(csr, zones)
+	topology := patterns.ClassifyTopologyOf(csr, zones)
+	stage, sconf := patterns.ClassifyAttackStageOf(csr, zones)
+	analyzeElapsed := time.Since(analyzeStart)
+
+	fmt.Fprintln(stdout, "\n── aggregate readings (sparse CSR path)")
+	fmt.Fprintf(stdout, "   sparse timings: aggregate %v, profile+classify %v\n",
+		aggElapsed.Round(time.Microsecond), analyzeElapsed.Round(time.Microsecond))
+	density := 0.0
+	if profile.N > 0 {
+		density = 100 * float64(profile.NNZ) / (float64(profile.N) * float64(profile.N))
 	}
-	fmt.Printf("   topology:  %s\n", patterns.ClassifyTopology(aggregate, zones))
-	stage, conf := patterns.ClassifyAttackStage(aggregate, zones)
-	fmt.Printf("   attack:    %s (%.2f)\n", stage, conf)
+	fmt.Fprintf(stdout, "   n=%d nnz=%d (density %.2f%%) packets=%d max-cell=%d\n",
+		profile.N, profile.NNZ, density, profile.Sum, profile.MaxEntry)
+	if behavior != patterns.BehaviorUnknown {
+		fmt.Fprintf(stdout, "   behavior:  %s (%.2f)\n", behavior, bconf)
+	}
+	fmt.Fprintf(stdout, "   topology:  %s\n", topology)
+	fmt.Fprintf(stdout, "   attack:    %s (%.2f)\n", stage, sconf)
 
 	if *exportPath != "" && busiest != nil {
 		m := moduleFromMatrix(busiest, net, zones, s.Name())
@@ -158,18 +199,18 @@ func run() error {
 		if err := os.WriteFile(*exportPath, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nexported busiest window as %s\n", *exportPath)
+		fmt.Fprintf(stdout, "\nexported busiest window as %s\n", *exportPath)
 	}
 	return nil
 }
 
 // listCatalog prints every registered scenario with its shape and
 // description.
-func listCatalog() error {
-	fmt.Println("scenario catalog:")
+func listCatalog(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "scenario catalog:")
 	for _, s := range netsim.Scenarios() {
-		fmt.Printf("  %-12s %s\n", s.Name(), s.Description())
-		fmt.Printf("  %-12s └ shape: %s\n", "", s.Shape())
+		fmt.Fprintf(stdout, "  %-12s %s\n", s.Name(), s.Description())
+		fmt.Fprintf(stdout, "  %-12s └ shape: %s\n", "", s.Shape())
 	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package matrix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSquare builds a matched (Dense, CSR) pair of the same random
+// square matrix.
+func randomSquare(t testing.TB, seed int64, n int, density float64) (*Dense, *CSR) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCOO(n, n)
+	entries := int(density * float64(n) * float64(n))
+	for k := 0; k < entries; k++ {
+		c.Add(rng.Intn(n), rng.Intn(n), 1+rng.Intn(9))
+	}
+	csr := c.ToCSR()
+	return csr.ToDense(), csr
+}
+
+func TestDenseRowSkipsZeros(t *testing.T) {
+	d := MustFromRows([][]int{{0, 3, 0}, {1, 0, 2}})
+	var got []Entry
+	for i := 0; i < d.Rows(); i++ {
+		d.Row(i, func(j, v int) { got = append(got, Entry{Row: i, Col: j, Val: v}) })
+	}
+	want := []Entry{{0, 1, 3}, {1, 0, 1}, {1, 2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Dense.Row visited %v, want %v", got, want)
+	}
+}
+
+// TestAnalysisParityDenseVsCSR pins the tentpole invariant at the
+// matrix layer: every analysis helper produces byte-identical
+// results through either representation.
+func TestAnalysisParityDenseVsCSR(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		seed    int64
+		n       int
+		density float64
+	}{
+		{"sparse", 1, 30, 0.05},
+		{"moderate", 2, 20, 0.3},
+		{"dense", 3, 8, 0.9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, c := randomSquare(t, tc.seed, tc.n, tc.density)
+			if got, want := ProfileOf(c), ProfileOf(d); !reflect.DeepEqual(got, want) {
+				t.Errorf("ProfileOf: CSR %+v != Dense %+v", got, want)
+			}
+			if got, want := SupernodesOf(c, 3), SupernodesOf(d, 3); !reflect.DeepEqual(got, want) {
+				t.Errorf("SupernodesOf: CSR %v != Dense %v", got, want)
+			}
+			if got, want := IsolatedPairsOf(c), IsolatedPairsOf(d); !reflect.DeepEqual(got, want) {
+				t.Errorf("IsolatedPairsOf: CSR %v != Dense %v", got, want)
+			}
+			if got, want := DegreeHistogramOf(c), DegreeHistogramOf(d); !reflect.DeepEqual(got, want) {
+				t.Errorf("DegreeHistogramOf: CSR %v != Dense %v", got, want)
+			}
+			if got, want := TopLinksOf(c, 10), TopLinksOf(d, 10); !reflect.DeepEqual(got, want) {
+				t.Errorf("TopLinksOf: CSR %v != Dense %v", got, want)
+			}
+		})
+	}
+}
+
+func TestProfileOfSymmetricAndReciprocal(t *testing.T) {
+	d := MustFromRows([][]int{
+		{0, 2, 0},
+		{2, 0, 1},
+		{0, 1, 0},
+	})
+	for _, m := range []Matrix{d, FromDense(d).ToCSR()} {
+		p := ProfileOf(m)
+		if !p.Symmetric {
+			t.Error("symmetric matrix profiled as asymmetric")
+		}
+		if p.Reciprocal != 2 {
+			t.Errorf("Reciprocal = %d, want 2", p.Reciprocal)
+		}
+	}
+	asym := MustFromRows([][]int{{0, 1}, {2, 0}})
+	for _, m := range []Matrix{asym, FromDense(asym).ToCSR()} {
+		if p := ProfileOf(m); p.Symmetric {
+			t.Error("asymmetric matrix profiled as symmetric")
+		}
+	}
+}
+
+func TestProfileOfNonSquare(t *testing.T) {
+	d := NewDense(2, 3)
+	c := FromDense(d).ToCSR()
+	for _, m := range []Matrix{d, c} {
+		if p := ProfileOf(m); p.N != -1 {
+			t.Errorf("non-square profile N = %d, want -1", p.N)
+		}
+		if IsolatedPairsOf(m) != nil {
+			t.Error("non-square IsolatedPairsOf should be nil")
+		}
+		if DegreeHistogramOf(m) != nil {
+			t.Error("non-square DegreeHistogramOf should be nil")
+		}
+	}
+}
+
+func TestIsolatedPairsOfSparsePath(t *testing.T) {
+	// Two isolated pairs {0,1} and {2,3}, one busy triangle 4-5-6,
+	// and a self loop on 7 that must be ignored.
+	d := NewSquare(8)
+	d.Set(0, 1, 2)
+	d.Set(1, 0, 1)
+	d.Set(2, 3, 4)
+	d.Set(4, 5, 1)
+	d.Set(5, 6, 1)
+	d.Set(6, 4, 1)
+	d.Set(7, 7, 9)
+	want := [][2]int{{0, 1}, {2, 3}}
+	for _, m := range []Matrix{d, FromDense(d).ToCSR()} {
+		if got := IsolatedPairsOf(m); !reflect.DeepEqual(got, want) {
+			t.Errorf("IsolatedPairsOf = %v, want %v", got, want)
+		}
+	}
+}

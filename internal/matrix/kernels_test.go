@@ -1,0 +1,277 @@
+package matrix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomCSR builds a deterministic random sparse matrix with about
+// density·rows·cols entries, values in [1, 9].
+func randomCSR(t testing.TB, rng *rand.Rand, rows, cols int, density float64) *CSR {
+	t.Helper()
+	c := NewCOO(rows, cols)
+	n := int(density * float64(rows) * float64(cols))
+	for k := 0; k < n; k++ {
+		c.Add(rng.Intn(rows), rng.Intn(cols), 1+rng.Intn(9))
+	}
+	return c.ToCSR()
+}
+
+var kernelSemirings = []Semiring{PlusTimes, OrAnd, MaxPlus}
+
+func TestMatVecSemiringMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCSR(t, rng, 17, 23, 0.15)
+	x := make([]int, 23)
+	for i := range x {
+		x[i] = rng.Intn(7)
+	}
+	d := a.ToDense()
+	for _, s := range kernelSemirings {
+		want := make([]int, d.Rows())
+		for i := range want {
+			acc := s.Zero
+			for j := 0; j < d.Cols(); j++ {
+				if v := d.At(i, j); v != 0 {
+					acc = s.Add(acc, s.Mul(v, x[j]))
+				}
+			}
+			want[i] = acc
+		}
+		for _, workers := range []int{1, 3, 0} {
+			got, err := a.MatVecSemiring(x, s, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", s.Name, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: SpMV mismatch", s.Name, workers)
+			}
+		}
+	}
+}
+
+func TestMatVecSemiringPlusTimesMatchesSerialMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomCSR(t, rng, 9, 9, 0.3)
+	x := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	want, err := a.MatVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.MatVecSemiring(x, PlusTimes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MatVecSemiring(PlusTimes) = %v, want %v", got, want)
+	}
+}
+
+func TestMatVecSemiringShapeError(t *testing.T) {
+	a := randomCSR(t, rand.New(rand.NewSource(5)), 4, 6, 0.3)
+	if _, err := a.MatVecSemiring(make([]int, 5), PlusTimes, 1); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+// refSpGEMM computes the sparse semiring product with a naive map
+// accumulator: the reference for MatMulCSR under sparse semantics
+// (implicit cells are s.Zero, results equal to s.Zero stay implicit).
+func refSpGEMM(a, b *CSR, s Semiring) map[[2]int]int {
+	out := map[[2]int]int{}
+	for i := 0; i < a.Rows(); i++ {
+		a.Row(i, func(k, av int) {
+			b.Row(k, func(j, bv int) {
+				key := [2]int{i, j}
+				if acc, ok := out[key]; ok {
+					out[key] = s.Add(acc, s.Mul(av, bv))
+				} else {
+					out[key] = s.Add(s.Zero, s.Mul(av, bv))
+				}
+			})
+		})
+	}
+	for key, v := range out {
+		// Zero results stay implicit; so do literal-0 results, which
+		// the representation reserves for absent cells.
+		if v == s.Zero || v == 0 {
+			delete(out, key)
+		}
+	}
+	return out
+}
+
+// TestMatMulCSRNeverStoresZero pins the accessor-contract edge the
+// MaxPlus semiring exposes: its Mul is +, so values of opposite sign
+// can produce a literal-0 result, which must stay implicit (the
+// representation reserves 0 for absent cells).
+func TestMatMulCSRNeverStoresZero(t *testing.T) {
+	a := NewCOO(1, 1)
+	a.Add(0, 0, 2)
+	b := NewCOO(1, 1)
+	b.Add(0, 0, -2)
+	got, err := MatMulCSR(a.ToCSR(), b.ToCSR(), MaxPlus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, want 0 (literal-0 result must stay implicit)", got.NNZ())
+	}
+	got.Row(0, func(j, v int) { t.Errorf("Row visited (%d,%d)", j, v) })
+	if entries := got.ToCOO().Entries(); len(entries) != 0 {
+		t.Errorf("ToCOO stored %v, want none", entries)
+	}
+}
+
+// TestMatMulCSRMatchesReference pins SpGEMM against a naive sparse
+// reference for every semiring, and additionally against the dense
+// kernel for the semirings whose Zero is the integer 0 (where dense
+// and sparse semantics coincide — for MaxPlus they intentionally do
+// not: the dense kernel treats empty cells as literal 0, the sparse
+// kernel as -inf).
+func TestMatMulCSRMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomCSR(t, rng, 14, 19, 0.2)
+	b := randomCSR(t, rng, 19, 11, 0.2)
+	for _, s := range kernelSemirings {
+		want := refSpGEMM(a, b, s)
+		for _, workers := range []int{1, 4, 0} {
+			got, err := MatMulCSR(a, b, s, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", s.Name, workers, err)
+			}
+			if got.Rows() != a.Rows() || got.Cols() != b.Cols() {
+				t.Fatalf("%s: shape %dx%d, want %dx%d", s.Name, got.Rows(), got.Cols(), a.Rows(), b.Cols())
+			}
+			stored := map[[2]int]int{}
+			for i := 0; i < got.Rows(); i++ {
+				got.Row(i, func(j, v int) { stored[[2]int{i, j}] = v })
+			}
+			if !reflect.DeepEqual(stored, want) {
+				t.Errorf("%s workers=%d: SpGEMM = %v, want %v", s.Name, workers, stored, want)
+			}
+		}
+	}
+	// Dense cross-check where Zero == 0.
+	ad, bd := a.ToDense(), b.ToDense()
+	for _, s := range []Semiring{PlusTimes, OrAnd} {
+		want, err := MulSemiring(ad, bd, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatMulCSR(a, b, s, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.ToDense().Equal(want) {
+			t.Errorf("%s: densified SpGEMM differs from dense kernel", s.Name)
+		}
+	}
+}
+
+func TestMatMulCSRDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSR(t, rng, 40, 40, 0.1)
+	b := randomCSR(t, rng, 40, 40, 0.1)
+	base, err := MatMulCSR(a, b, PlusTimes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		got, err := MatMulCSR(a, b, PlusTimes, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: SpGEMM result differs from serial", workers)
+		}
+	}
+}
+
+func TestMatMulCSRShapeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCSR(t, rng, 3, 4, 0.5)
+	b := randomCSR(t, rng, 5, 3, 0.5)
+	if _, err := MatMulCSR(a, b, PlusTimes, 1); err == nil {
+		t.Error("expected shape-mismatch error")
+	}
+}
+
+func TestTransposeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Large enough to cross the parallel threshold (nnz ≥ 4096).
+	a := randomCSR(t, rng, 200, 150, 0.2)
+	want := a.Transpose()
+	for _, workers := range []int{2, 5, 16} {
+		got := a.TransposeParallel(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel transpose differs from serial", workers)
+		}
+	}
+	if !reflect.DeepEqual(a.TransposeParallel(1), want) {
+		t.Error("workers=1 fallback differs from serial")
+	}
+}
+
+func TestReduceRowsAndColsMatchSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomCSR(t, rng, 31, 27, 0.2)
+	for _, workers := range []int{1, 4, 0} {
+		if got := a.ReduceRows(PlusTimes, workers); !reflect.DeepEqual(got, a.RowSums()) {
+			t.Errorf("workers=%d: ReduceRows(PlusTimes) != RowSums", workers)
+		}
+		if got := a.ReduceCols(PlusTimes, workers); !reflect.DeepEqual(got, a.ColSums()) {
+			t.Errorf("workers=%d: ReduceCols(PlusTimes) != ColSums", workers)
+		}
+		if got := a.Reduce(PlusTimes, workers); got != a.Sum() {
+			t.Errorf("workers=%d: Reduce(PlusTimes) = %d, want %d", workers, got, a.Sum())
+		}
+	}
+}
+
+func TestReduceMaxPlusFindsRowMaxima(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 5)
+	c.Add(0, 2, 9)
+	c.Add(2, 1, 4)
+	a := c.ToCSR()
+	got := a.ReduceRows(MaxPlus, 2)
+	want := []int{9, maxIdentity, 4} // empty row 1 reduces to -inf
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReduceRows(MaxPlus) = %v, want %v", got, want)
+	}
+	if m := a.Reduce(MaxPlus, 1); m != 9 {
+		t.Errorf("Reduce(MaxPlus) = %d, want 9", m)
+	}
+}
+
+func TestCSRToCOORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomCSR(t, rng, 12, 12, 0.3)
+	back := a.ToCOO().ToCSR()
+	if !reflect.DeepEqual(back, a) {
+		t.Error("CSR→COO→CSR round trip not identical")
+	}
+	if !a.ToCOO().ToDense().Equal(a.ToDense()) {
+		t.Error("CSR→COO→Dense differs from CSR→Dense")
+	}
+}
+
+func TestRowBandsCoverAllRows(t *testing.T) {
+	for _, tc := range []struct{ rows, workers int }{
+		{0, 4}, {1, 4}, {7, 3}, {10, 10}, {10, 64}, {100, 7},
+	} {
+		bands := rowBands(tc.rows, tc.workers)
+		next := 0
+		for _, b := range bands {
+			if b[0] != next {
+				t.Fatalf("rows=%d workers=%d: band starts at %d, want %d", tc.rows, tc.workers, b[0], next)
+			}
+			next = b[1]
+		}
+		if next != tc.rows {
+			t.Errorf("rows=%d workers=%d: bands cover [0,%d), want [0,%d)", tc.rows, tc.workers, next, tc.rows)
+		}
+	}
+}

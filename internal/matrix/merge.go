@@ -22,7 +22,7 @@ import (
 // serial Compact. It returns the receiver for chaining.
 func (c *COO) CompactParallel(workers int) *COO {
 	const minSegment = 1 << 12
-	if workers <= 1 || len(c.entries) < 2*minSegment {
+	if c.compacted || workers <= 1 || len(c.entries) < 2*minSegment {
 		return c.Compact()
 	}
 	if max := len(c.entries) / minSegment; workers > max {
@@ -46,6 +46,7 @@ func (c *COO) CompactParallel(workers int) *COO {
 	}
 	wg.Wait()
 	c.entries = mergeRuns(runs)
+	c.compacted = true
 	return c
 }
 
@@ -185,5 +186,6 @@ func MergeCOO(parts ...*COO) (*COO, error) {
 	}
 	out := NewCOO(rows, cols)
 	out.entries = mergeRuns(runs)
+	out.compacted = true
 	return out, nil
 }

@@ -18,6 +18,10 @@ type Entry struct {
 type COO struct {
 	rows, cols int
 	entries    []Entry
+	// compacted records that entries are row-major sorted, duplicate
+	// free, and zero free, letting Compact (and therefore ToCSR on a
+	// freshly merged matrix) skip the O(E log E) re-sort.
+	compacted bool
 }
 
 // NewCOO returns an empty rows×cols COO matrix.
@@ -45,17 +49,19 @@ func (c *COO) Add(i, j, v int) {
 		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
 	}
 	c.entries = append(c.entries, Entry{Row: i, Col: j, Val: v})
+	c.compacted = false
 }
 
 // Compact sorts the triples in row-major order and sums duplicates
 // in place, dropping resulting zeros. It returns the receiver for
 // chaining.
 func (c *COO) Compact() *COO {
-	if len(c.entries) == 0 {
+	if c.compacted || len(c.entries) == 0 {
 		return c
 	}
 	sortEntries(c.entries)
 	c.entries = dedupSorted(c.entries)
+	c.compacted = true
 	return c
 }
 
@@ -87,6 +93,8 @@ func FromDense(d *Dense) *COO {
 			}
 		}
 	}
+	// The row-major scan emits unique sorted non-zero coordinates.
+	c.compacted = true
 	return c
 }
 
@@ -120,9 +128,22 @@ func (c *COO) ToCSR() *CSR {
 	for k, e := range c.entries {
 		m.colIdx[k] = e.Col
 		m.vals[k] = e.Val
-		_ = k
 	}
 	return m
+}
+
+// ToCOO converts the CSR matrix back to a compacted COO: the exact
+// inverse of COO.ToCSR, so COO↔CSR round trips are lossless.
+func (m *CSR) ToCOO() *COO {
+	c := NewCOO(m.rows, m.cols)
+	c.entries = make([]Entry, 0, len(m.vals))
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			c.entries = append(c.entries, Entry{Row: i, Col: m.colIdx[k], Val: m.vals[k]})
+		}
+	}
+	c.compacted = true
+	return c
 }
 
 // Rows returns the number of rows.

@@ -75,6 +75,26 @@ func (t Trace) Matrix(net *Network) (*matrix.Dense, int) {
 	return t.Assoc().ToDense(net.Labels())
 }
 
+// SparseMatrix aggregates the whole trace onto a network's axis as a
+// CSR, never materializing the n² cells: one linear fold into a COO
+// followed by compaction. Events naming unknown hosts are counted in
+// the returned dropped packet total, mirroring Matrix.
+func (t Trace) SparseMatrix(net *Network) (*matrix.CSR, int) {
+	n := net.Len()
+	c := matrix.NewCOO(n, n)
+	dropped := 0
+	for _, e := range t {
+		i, iok := net.Index(e.Src)
+		j, jok := net.Index(e.Dst)
+		if !iok || !jok {
+			dropped += e.Packets
+			continue
+		}
+		c.Add(i, j, e.Packets)
+	}
+	return c.ToCSR(), dropped
+}
+
 // Window is one aggregation interval with its traffic matrix.
 type Window struct {
 	// Start and End bound the interval [Start,End).

@@ -187,3 +187,18 @@ func GenerateMatrix(s Scenario, net *Network, seed int64, workers int, p Params)
 	}
 	return merged, stats, nil
 }
+
+// GenerateCSR is the fully sparse end-to-end path: it generates the
+// scenario into sharded COO accumulators (GenerateMatrix) and
+// converts the merged result straight to CSR. The merge leaves the
+// triples compacted, so the conversion is a single linear pass — no
+// dense n² materialization happens anywhere between event emission
+// and the analysis layer, which consumes the CSR through the
+// matrix.Matrix accessor interface.
+func GenerateCSR(s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.CSR, Stats, error) {
+	coo, stats, err := GenerateMatrix(s, net, seed, workers, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return coo.ToCSR(), stats, nil
+}

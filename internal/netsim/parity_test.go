@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/patterns"
+)
+
+// The sparse-end-to-end parity suite: for every catalog scenario the
+// CSR analysis path (GenerateCSR → matrix.Matrix accessor) must
+// produce byte-identical results to the dense path on every analysis
+// helper and on the behaviour classifier. This is the tentpole
+// invariant that lets large runs skip dense materialization without
+// changing a single classification.
+
+// parityNetworks are the sizes the suite checks: the paper's
+// standard 10-host network and a scaled one that exercises larger
+// casts and real sparsity.
+func parityNetworks(t *testing.T) []*Network {
+	t.Helper()
+	return []*Network{StandardNetwork(), ScaledNetwork(64)}
+}
+
+func TestCatalogCSRAnalysisParity(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for _, net := range parityNetworks(t) {
+				zones, err := net.Zones()
+				if err != nil {
+					t.Fatal(err)
+				}
+				coo, _, err := GenerateMatrix(s, net, 42, 0, Params{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				csr := coo.ToCSR()
+				dense := coo.ToDense()
+
+				if !csr.ToDense().Equal(dense) {
+					t.Fatalf("hosts=%d: CSR densifies differently from COO", net.Len())
+				}
+
+				dp, cp := matrix.ProfileOf(dense), matrix.ProfileOf(csr)
+				if !reflect.DeepEqual(dp, cp) {
+					t.Errorf("hosts=%d: Profile mismatch\ndense: %+v\ncsr:   %+v", net.Len(), dp, cp)
+				}
+
+				wantHubs := matrix.SupernodesOf(dense, patterns.SupernodeFanThreshold)
+				gotHubs := matrix.SupernodesOf(csr, patterns.SupernodeFanThreshold)
+				if !reflect.DeepEqual(gotHubs, wantHubs) {
+					t.Errorf("hosts=%d: Supernodes mismatch: %v vs %v", net.Len(), gotHubs, wantHubs)
+				}
+
+				if got, want := matrix.IsolatedPairsOf(csr), matrix.IsolatedPairsOf(dense); !reflect.DeepEqual(got, want) {
+					t.Errorf("hosts=%d: IsolatedPairs mismatch: %v vs %v", net.Len(), got, want)
+				}
+				if got, want := matrix.DegreeHistogramOf(csr), matrix.DegreeHistogramOf(dense); !reflect.DeepEqual(got, want) {
+					t.Errorf("hosts=%d: DegreeHistogram mismatch", net.Len())
+				}
+				if got, want := matrix.TopLinksOf(csr, 25), matrix.TopLinksOf(dense, 25); !reflect.DeepEqual(got, want) {
+					t.Errorf("hosts=%d: TopLinks mismatch: %v vs %v", net.Len(), got, want)
+				}
+
+				db, dconf := patterns.ClassifyBehavior(dense, zones)
+				cb, cconf := patterns.ClassifyBehaviorOf(csr, zones)
+				if db != cb || dconf != cconf {
+					t.Errorf("hosts=%d: ClassifyBehavior mismatch: dense %v (%v), csr %v (%v)",
+						net.Len(), db, dconf, cb, cconf)
+				}
+
+				if got, want := patterns.ClassifyTopologyOf(csr, zones), patterns.ClassifyTopology(dense, zones); got != want {
+					t.Errorf("hosts=%d: ClassifyTopology mismatch: %v vs %v", net.Len(), got, want)
+				}
+				ds, dsc := patterns.ClassifyAttackStage(dense, zones)
+				cs, csc := patterns.ClassifyAttackStageOf(csr, zones)
+				if ds != cs || dsc != csc {
+					t.Errorf("hosts=%d: ClassifyAttackStage mismatch: %v (%v) vs %v (%v)",
+						net.Len(), ds, dsc, cs, csc)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateCSRMatchesGenerateMatrix pins the convenience wrapper:
+// same seed, same stats, same matrix.
+func TestGenerateCSRMatchesGenerateMatrix(t *testing.T) {
+	s, ok := LookupScenario("ddos")
+	if !ok {
+		t.Fatal("ddos scenario missing")
+	}
+	net := ScaledNetwork(32)
+	coo, wantStats, err := GenerateMatrix(s, net, 7, 3, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, gotStats, err := GenerateCSR(s, net, 7, 3, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Errorf("stats = %+v, want %+v", gotStats, wantStats)
+	}
+	if !csr.ToDense().Equal(coo.ToDense()) {
+		t.Error("GenerateCSR matrix differs from GenerateMatrix")
+	}
+	if csr.NNZ() != coo.Compact().Len() {
+		t.Errorf("nnz = %d, want %d", csr.NNZ(), coo.Compact().Len())
+	}
+	// Folding the materialized trace (twsim's aggregate path) must
+	// agree with direct sparse generation.
+	trace, err := GenerateTrace(s, net, 7, 3, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, dropped := trace.SparseMatrix(net)
+	if dropped != wantStats.Dropped {
+		t.Errorf("SparseMatrix dropped = %d, want %d", dropped, wantStats.Dropped)
+	}
+	if !folded.ToDense().Equal(coo.ToDense()) {
+		t.Error("Trace.SparseMatrix differs from GenerateMatrix aggregate")
+	}
+}

@@ -66,7 +66,15 @@ var Behaviors = []Behavior{
 //   - beaconing needs blue→red traffic outweighing any red→blue
 //     tasking replies.
 func ClassifyBehavior(m *matrix.Dense, z Zones) (Behavior, float64) {
-	if !m.IsSquare() || m.Rows() != z.N || m.NNZ() == 0 {
+	return ClassifyBehaviorOf(m, z)
+}
+
+// ClassifyBehaviorOf is ClassifyBehavior over the read-only accessor
+// interface: it visits only stored entries, so a CSR aggregated by
+// the concurrent scenario engine classifies in O(nnz·log deg) with
+// no dense materialization.
+func ClassifyBehaviorOf(m matrix.Matrix, z Zones) (Behavior, float64) {
+	if m.Rows() != m.Cols() || m.Rows() != z.N || m.NNZ() == 0 {
 		return BehaviorUnknown, 0
 	}
 	n := m.Rows()
@@ -75,25 +83,29 @@ func ClassifyBehavior(m *matrix.Dense, z Zones) (Behavior, float64) {
 	inPackets := make([]int, n) // off-diagonal inbound packets per column
 	inFan := make([]int, n)     // distinct off-diagonal sources per column
 	blueBlueDsts := map[int]bool{}
+	reciprocated := 0                // reciprocated blue→blue packet volume
 	bgRow, bgCol, bgVal := -1, -1, 0 // heaviest blue→grey cell
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			v := m.At(i, j)
-			if v == 0 || i == j {
-				continue
+		zi := z.Of(i)
+		m.Row(i, func(j, v int) {
+			if i == j {
+				return
 			}
-			zi, zj := z.Of(i), z.Of(j)
+			zj := z.Of(j)
 			total += v
 			zonePackets[[2]Zone{zi, zj}] += v
 			inPackets[j] += v
 			inFan[j]++
 			if zi == ZoneBlue && zj == ZoneBlue {
 				blueBlueDsts[j] = true
+				if m.At(j, i) != 0 {
+					reciprocated += v
+				}
 			}
 			if zi == ZoneBlue && zj == ZoneGrey && v > bgVal {
 				bgRow, bgCol, bgVal = i, j, v
 			}
-		}
+		})
 	}
 	if total == 0 {
 		return BehaviorUnknown, 0
@@ -113,11 +125,11 @@ func ClassifyBehavior(m *matrix.Dense, z Zones) (Behavior, float64) {
 	}
 	if hub >= 0 {
 		exchanged := inPackets[hub]
-		for j := 0; j < n; j++ {
+		m.Row(hub, func(j, v int) {
 			if j != hub {
-				exchanged += m.At(hub, j)
+				exchanged += v
 			}
-		}
+		})
 		score[BehaviorFlashCrowd] = float64(exchanged) / float64(total)
 	}
 
@@ -127,17 +139,6 @@ func ClassifyBehavior(m *matrix.Dense, z Zones) (Behavior, float64) {
 	// not.
 	if len(blueBlueDsts) >= 2 {
 		spread := zonePackets[[2]Zone{ZoneBlue, ZoneBlue}] + zonePackets[[2]Zone{ZoneRed, ZoneBlue}]
-		reciprocated := 0
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j || z.Of(i) != ZoneBlue || z.Of(j) != ZoneBlue {
-					continue
-				}
-				if v := m.At(i, j); v != 0 && m.At(j, i) != 0 {
-					reciprocated += v
-				}
-			}
-		}
 		if 2*reciprocated <= spread {
 			score[BehaviorWorm] = float64(spread) / float64(total)
 		}

@@ -320,7 +320,13 @@ const SupernodeFanThreshold = 3
 // ClassifyTopology identifies which Fig 6 topology a traffic matrix
 // shows, using zones to split internal from external supernodes.
 func ClassifyTopology(m *matrix.Dense, z Zones) TopologyKind {
-	if !m.IsSquare() || m.Rows() != z.N || m.NNZ() == 0 {
+	return ClassifyTopologyOf(m, z)
+}
+
+// ClassifyTopologyOf is ClassifyTopology over the read-only accessor
+// interface, visiting only stored entries.
+func ClassifyTopologyOf(m matrix.Matrix, z Zones) TopologyKind {
+	if m.Rows() != m.Cols() || m.Rows() != z.N || m.NNZ() == 0 {
 		return TopologyUnknown
 	}
 	n := m.Rows()
@@ -329,9 +335,9 @@ func ClassifyTopology(m *matrix.Dense, z Zones) TopologyKind {
 	reciprocalOnly := true
 	anyReciprocal := false
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j || m.At(i, j) == 0 {
-				continue
+		m.Row(i, func(j, _ int) {
+			if i == j {
+				return
 			}
 			if peers[i] == nil {
 				peers[i] = make(map[int]bool)
@@ -346,7 +352,7 @@ func ClassifyTopology(m *matrix.Dense, z Zones) TopologyKind {
 			} else {
 				reciprocalOnly = false
 			}
-		}
+		})
 	}
 	maxFan, hub := 0, -1
 	allFanOne := true
@@ -377,19 +383,18 @@ func ClassifyTopology(m *matrix.Dense, z Zones) TopologyKind {
 }
 
 // flowFraction returns the fraction of non-zero cells whose
-// (source zone, destination zone) pair is in the signature set.
-func flowFraction(m *matrix.Dense, z Zones, signature map[[2]Zone]bool) float64 {
+// (source zone, destination zone) pair is in the signature set. It
+// walks only stored entries through the accessor interface.
+func flowFraction(m matrix.Matrix, z Zones, signature map[[2]Zone]bool) float64 {
 	total, hits := 0, 0
 	for i := 0; i < m.Rows(); i++ {
-		for j := 0; j < m.Cols(); j++ {
-			if m.At(i, j) == 0 {
-				continue
-			}
+		zi := z.Of(i)
+		m.Row(i, func(j, _ int) {
 			total++
-			if signature[[2]Zone{z.Of(i), z.Of(j)}] {
+			if signature[[2]Zone{zi, z.Of(j)}] {
 				hits++
 			}
-		}
+		})
 	}
 	if total == 0 {
 		return 0
@@ -411,6 +416,12 @@ var attackSignatures = map[AttackStage]map[[2]Zone]bool{
 // fraction as a confidence. Pure single-stage matrices score 1.0;
 // a combined campaign scores the dominant stage lower.
 func ClassifyAttackStage(m *matrix.Dense, z Zones) (AttackStage, float64) {
+	return ClassifyAttackStageOf(m, z)
+}
+
+// ClassifyAttackStageOf is ClassifyAttackStage over the read-only
+// accessor interface.
+func ClassifyAttackStageOf(m matrix.Matrix, z Zones) (AttackStage, float64) {
 	best, bestScore := StagePlanning, -1.0
 	for _, stage := range AttackStages {
 		if score := flowFraction(m, z, attackSignatures[stage]); score > bestScore {
