@@ -6,6 +6,7 @@
 //	twmodule info file.json                  summarize a module
 //	twmodule render file.json [-3d] [-rot N] [-colors] [-ppm out.ppm]
 //	twmodule gen -id fig9c-ddos-attack -o m.json   generate from the catalog
+//	twmodule generate -scenario ddos [-window 10 -o dir]   synthesize from a netsim scenario
 //	twmodule list                            list catalog pattern IDs
 //	twmodule pack -o lesson.zip file.json... zip modules into a lesson
 //	twmodule unpack -d dir lesson.zip        extract a lesson zip
@@ -19,9 +20,11 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/bridge"
 	"repro/internal/core"
 	"repro/internal/game"
 	"repro/internal/modules"
+	"repro/internal/netsim"
 	"repro/internal/patterns"
 	"repro/internal/render"
 	"repro/internal/term"
@@ -36,11 +39,13 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: twmodule <new|validate|info|render|gen|list|pack|unpack> ...")
+		return fmt.Errorf("usage: twmodule <new|validate|info|render|gen|generate|list|pack|unpack> ...")
 	}
 	switch args[0] {
 	case "new":
 		return cmdNew(args[1:])
+	case "generate":
+		return cmdGenerate(args[1:])
 	case "validate":
 		return cmdValidate(args[1:])
 	case "info":
@@ -91,6 +96,59 @@ func cmdObfuscate(paths []string) error {
 		fmt.Printf("%s: answer obfuscated (digest %s)\n", p, m.CorrectAnswerDigest)
 	}
 	return nil
+}
+
+// cmdGenerate synthesizes teaching content from the netsim scenario
+// catalog through the bridge: by default one aggregate-traffic
+// module with an auto-generated question, or — with -window — a
+// whole campaign directory (course.json plus lesson zips) that
+// trafficwarehouse -course plays end to end.
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	scenario := fs.String("scenario", "", "netsim scenario name (see twsim -list)")
+	seed := fs.Int64("seed", 42, "random seed")
+	hosts := fs.Int("hosts", 0, "network size (≤10 = the paper's standard 10-host network)")
+	duration := fs.Float64("duration", 0, "scenario length in seconds (0 = scenario default)")
+	rate := fs.Float64("rate", 0, "intensity hint in events/sec (0 = default)")
+	scale := fs.Int("scale", 0, "volume multiplier (0 = default)")
+	window := fs.Float64("window", 0, "aggregation window in seconds; >0 writes a campaign directory instead of one module")
+	out := fs.String("o", "", "output module file (stdout when empty), or campaign directory (required with -window)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *duration < 0 || *rate < 0 || *scale < 0 || *window < 0 {
+		return fmt.Errorf("generate: duration, rate, scale, and window must not be negative")
+	}
+	s, ok := netsim.LookupScenario(*scenario)
+	if !ok {
+		return fmt.Errorf("generate: unknown scenario %q (run twsim -list for the catalog)", *scenario)
+	}
+	net := netsim.ScaledNetwork(*hosts)
+	p := netsim.Params{Duration: *duration, Rate: *rate, Scale: *scale}
+	if *window > 0 {
+		if *out == "" {
+			return fmt.Errorf("generate: -window needs -o <campaign directory>")
+		}
+		c, err := bridge.CampaignFromScenario(s, net, *seed, p, *window)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteDir(*out); err != nil {
+			return err
+		}
+		moduleCount := 0
+		for _, lesson := range c.Lessons {
+			moduleCount += lesson.Len()
+		}
+		fmt.Printf("wrote campaign %s: %d lessons, %d modules\n", *out, len(c.Lessons), moduleCount)
+		fmt.Printf("play it: cd %s && trafficwarehouse -course course.json\n", *out)
+		return nil
+	}
+	m, err := bridge.AggregateModule(s, net, *seed, p)
+	if err != nil {
+		return err
+	}
+	return writeModule(m, *out)
 }
 
 func cmdNew(args []string) error {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/course"
+)
+
+// TestGenerateWritesValidModule drives the scenario→module path: the
+// generated file must parse back as a module that passes validation
+// and carries a question.
+func TestGenerateWritesValidModule(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ddos.json")
+	if err := run([]string{"generate", "-scenario", "ddos", "-seed", "7", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModuleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := m.Validate(); !issues.OK() {
+		t.Fatalf("generated module invalid:\n%s", issues.Errs())
+	}
+	if !m.HasQuestion {
+		t.Error("generated module has no question")
+	}
+	if !strings.Contains(m.Name, "Ddos") {
+		t.Errorf("module name %q does not reference the scenario", m.Name)
+	}
+}
+
+// TestGenerateWritesPlayableCampaign drives the scenario→course
+// path: course.json plus lesson zips, loadable exactly the way
+// trafficwarehouse -course does.
+func TestGenerateWritesPlayableCampaign(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	args := []string{"generate", "-scenario", "attack", "-seed", "7", "-window", "10", "-o", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	c, err := course.LoadFile("course.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := course.FileAwareLoader(func(ref string) (*core.Lesson, error) {
+		t.Fatalf("unexpected by-name lookup %q", ref)
+		return nil, nil
+	})
+	lessons, err := c.ResolveAll(loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lessons) != 2 {
+		t.Fatalf("campaign resolves %d units, want 2", len(lessons))
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zips := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".zip") {
+			zips++
+		}
+	}
+	if zips != 2 {
+		t.Errorf("campaign directory holds %d zips, want 2", zips)
+	}
+}
+
+// TestGenerateRejectsBadInput pins the error paths.
+func TestGenerateRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown scenario", []string{"generate", "-scenario", "nope"}},
+		{"missing scenario", []string{"generate"}},
+		{"campaign without output", []string{"generate", "-scenario", "ddos", "-window", "5"}},
+		{"negative duration", []string{"generate", "-scenario", "ddos", "-duration", "-1"}},
+	} {
+		if err := run(tc.args); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -121,18 +121,24 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	windows, err := trace.Windows(net, *window, *duration)
+	// The per-window view runs on the single-pass sparse window
+	// engine: the trace is folded once into per-window CSRs, and a
+	// window densifies only when its matrix is actually drawn.
+	windows, err := trace.WindowsCSR(net, *window, *duration)
 	if err != nil {
 		return err
 	}
 	roles, rolesErr := patterns.AssignDDoSRoles(zones)
 
-	var busiest *matrix.Dense
+	var busiest *matrix.CSR
 	busiestSum := -1
 	for _, w := range windows {
 		fmt.Fprintf(stdout, "\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Matrix.Sum())
+		if w.Dropped > 0 {
+			fmt.Fprintf(stdout, "   (%d packets dropped: events name hosts outside the axis)\n", w.Dropped)
+		}
 		if !*noRender {
-			fb, err := render.Matrix2D(w.Matrix, render.Matrix2DOptions{
+			fb, err := render.Matrix2D(w.Matrix.ToDense(), render.Matrix2DOptions{
 				Labels: net.Labels(),
 				Colors: zones.ColorMatrix(),
 			})
@@ -144,13 +150,13 @@ func run(args []string, stdout io.Writer) error {
 		if w.Matrix.NNZ() == 0 {
 			continue
 		}
-		stage, conf := patterns.ClassifyAttackStage(w.Matrix, zones)
+		stage, conf := patterns.ClassifyAttackStageOf(w.Matrix, zones)
 		fmt.Fprintf(stdout, "   attack-stage reading: %s (%.2f)\n", stage, conf)
 		if rolesErr == nil {
-			component, dconf := patterns.ClassifyDDoS(w.Matrix, roles)
+			component, dconf := patterns.ClassifyDDoSOf(w.Matrix, roles)
 			fmt.Fprintf(stdout, "   ddos reading:         %s (%.2f)\n", component, dconf)
 		}
-		if hubs := matrix.Supernodes(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
+		if hubs := matrix.SupernodesOf(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
 			h := hubs[0]
 			fmt.Fprintf(stdout, "   busiest hub:          %s (%s fan %d, %d packets)\n",
 				net.Labels()[h.Index], h.Direction, h.Fan, h.Packets)
@@ -191,7 +197,7 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "   attack:    %s (%.2f)\n", stage, sconf)
 
 	if *exportPath != "" && busiest != nil {
-		m := moduleFromMatrix(busiest, net, zones, s.Name())
+		m := moduleFromMatrix(busiest.ToDense(), net, zones, s.Name())
 		data, err := core.EncodeModule(m)
 		if err != nil {
 			return err

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/matrix"
@@ -29,13 +28,17 @@ func (t Trace) Sort() {
 	sort.SliceStable(t, func(i, j int) bool { return t[i].Time < t[j].Time })
 }
 
-// Duration returns the time of the last event, or 0 for an empty
-// trace.
+// Duration returns the maximum event timestamp, or 0 for an empty
+// trace. The maximum — not the last element's stamp — so the value
+// is correct on a freshly generated, not-yet-sorted trace too.
 func (t Trace) Duration() float64 {
-	if len(t) == 0 {
-		return 0
+	max := 0.0
+	for _, e := range t {
+		if e.Time > max {
+			max = e.Time
+		}
 	}
-	return t[len(t)-1].Time
+	return max
 }
 
 // TotalPackets sums all packets in the trace.
@@ -97,34 +100,45 @@ func (t Trace) SparseMatrix(net *Network) (*matrix.CSR, int) {
 
 // Window is one aggregation interval with its traffic matrix.
 type Window struct {
-	// Start and End bound the interval [Start,End).
+	// Start and End bound the interval [Start,End); the final window
+	// of a run additionally covers an event at exactly the horizon.
 	Start, End float64
 	// Matrix is the aggregated traffic.
 	Matrix *matrix.Dense
-	// Events is the number of events in the window.
+	// Events is the number of events in the window, including events
+	// naming hosts outside the network axis.
 	Events int
+	// Dropped is the packet volume of the window's events that name
+	// hosts outside the network axis and so appear nowhere in Matrix.
+	Dropped int
 }
 
-// Windows splits the trace into fixed-length aggregation windows
-// over [0, horizon) — the streaming-analysis view ("spatial temporal
-// analysis" in the paper's references). A horizon of 0 uses the
-// trace duration rounded up to a whole window.
+// Windows splits the trace into ⌈horizon/windowLen⌉ fixed-length
+// aggregation windows starting at 0 — the streaming-analysis view
+// ("spatial temporal analysis" in the paper's references). A horizon
+// of 0 uses the trace duration rounded up to a whole window. An
+// event at exactly the horizon lands in the final window, so a trace
+// whose last event falls on a window boundary loses nothing; only
+// events beyond the last window's end are excluded.
+//
+// Windows is a thin dense adapter over WindowsCSR: the trace is
+// folded sparsely in a single pass and each window densifies only at
+// the end, so the two views are cell-for-cell identical by
+// construction.
 func (t Trace) Windows(net *Network, windowLen, horizon float64) ([]Window, error) {
-	if windowLen <= 0 {
-		return nil, fmt.Errorf("netsim: window length must be positive, got %g", windowLen)
+	sparse, err := t.WindowsCSR(net, windowLen, horizon)
+	if err != nil {
+		return nil, err
 	}
-	if horizon <= 0 {
-		horizon = t.Duration()
-		if horizon == 0 {
-			horizon = windowLen
+	out := make([]Window, len(sparse))
+	for i, w := range sparse {
+		out[i] = Window{
+			Start:   w.Start,
+			End:     w.End,
+			Matrix:  w.Matrix.ToDense(),
+			Events:  w.Events,
+			Dropped: w.Dropped,
 		}
-	}
-	var out []Window
-	for start := 0.0; start < horizon; start += windowLen {
-		end := start + windowLen
-		sub := t.Between(start, end)
-		m, _ := sub.Matrix(net)
-		out = append(out, Window{Start: start, End: end, Matrix: m, Events: len(sub)})
 	}
 	return out, nil
 }

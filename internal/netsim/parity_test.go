@@ -80,6 +80,15 @@ func TestCatalogCSRAnalysisParity(t *testing.T) {
 					t.Errorf("hosts=%d: ClassifyAttackStage mismatch: %v (%v) vs %v (%v)",
 						net.Len(), ds, dsc, cs, csc)
 				}
+
+				if roles, err := patterns.AssignDDoSRoles(zones); err == nil {
+					dd, ddc := patterns.ClassifyDDoS(dense, roles)
+					cd, cdc := patterns.ClassifyDDoSOf(csr, roles)
+					if dd != cd || ddc != cdc {
+						t.Errorf("hosts=%d: ClassifyDDoS mismatch: %v (%v) vs %v (%v)",
+							net.Len(), dd, ddc, cd, cdc)
+					}
+				}
 			}
 		})
 	}

@@ -455,6 +455,14 @@ func ClassifyPosture(m *matrix.Dense, z Zones) (Posture, float64) {
 // matrix given the cast of the attack, with the explained fraction
 // as confidence.
 func ClassifyDDoS(m *matrix.Dense, roles DDoSRoles) (DDoSComponent, float64) {
+	return ClassifyDDoSOf(m, roles)
+}
+
+// ClassifyDDoSOf is ClassifyDDoS over the read-only accessor
+// interface: one pass over the stored entries tallies every
+// component's hits, so a CSR window classifies in O(nnz) with no
+// dense materialization.
+func ClassifyDDoSOf(m matrix.Matrix, roles DDoSRoles) (DDoSComponent, float64) {
 	inC2 := make(map[int]bool, len(roles.C2))
 	for _, v := range roles.C2 {
 		inC2[v] = true
@@ -477,23 +485,23 @@ func ClassifyDDoS(m *matrix.Dense, roles DDoSRoles) (DDoSComponent, float64) {
 			return false
 		}
 	}
-	best, bestScore := DDoSC2, -1.0
-	for _, component := range DDoSComponents {
-		total, hits := 0, 0
-		for i := 0; i < m.Rows(); i++ {
-			for j := 0; j < m.Cols(); j++ {
-				if m.At(i, j) == 0 {
-					continue
-				}
-				total++
+	total := 0
+	hits := make(map[DDoSComponent]int, len(DDoSComponents))
+	for i := 0; i < m.Rows(); i++ {
+		m.Row(i, func(j, _ int) {
+			total++
+			for _, component := range DDoSComponents {
 				if match(component, i, j) {
-					hits++
+					hits[component]++
 				}
 			}
-		}
+		})
+	}
+	best, bestScore := DDoSC2, -1.0
+	for _, component := range DDoSComponents {
 		score := 0.0
 		if total > 0 {
-			score = float64(hits) / float64(total)
+			score = float64(hits[component]) / float64(total)
 		}
 		if score > bestScore {
 			best, bestScore = component, score

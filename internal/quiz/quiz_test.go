@@ -103,6 +103,65 @@ func TestShuffleActuallyShuffles(t *testing.T) {
 	}
 }
 
+// TestShuffleAuthoredRoundTripProperty: for every permutation seed
+// (and any answer count the validator accepts), the display option
+// that Grades correct maps back through AuthoredIndex to exactly
+// Question.Correct — the invariant that lets grading, statistics,
+// and answer obfuscation all speak authored indices regardless of
+// presentation order. A nil rng must additionally present the
+// authored order unchanged, with AuthoredIndex the identity.
+func TestShuffleAuthoredRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeHint uint8, correctHint uint8) bool {
+		n := 2 + int(sizeHint)%5 // 2..6 answers
+		answers := make([]string, n)
+		for i := range answers {
+			answers[i] = string(rune('A' + i))
+		}
+		q := Question{Prompt: "q", Answers: answers, Correct: int(correctHint) % n}
+		if err := q.Validate(); err != nil {
+			return false
+		}
+		p := Shuffle(q, rand.New(rand.NewSource(seed)))
+		// Exactly one display option grades correct, and it
+		// round-trips to the authored correct index.
+		correctCount := 0
+		for display := range p.Options {
+			ok, err := p.Grade(display)
+			if err != nil {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			correctCount++
+			authored, err := p.AuthoredIndex(display)
+			if err != nil || authored != q.Correct {
+				return false
+			}
+		}
+		return correctCount == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+
+	// Nil rng: authored order preserved, AuthoredIndex is identity.
+	q := sampleQuestion()
+	p := Shuffle(q, nil)
+	for display := range p.Options {
+		if p.Options[display] != q.Answers[display] {
+			t.Errorf("nil rng reordered option %d", display)
+		}
+		authored, err := p.AuthoredIndex(display)
+		if err != nil || authored != display {
+			t.Errorf("nil rng AuthoredIndex(%d) = %d (err %v), want identity", display, authored, err)
+		}
+	}
+	if got, err := p.AuthoredIndex(p.CorrectOption); err != nil || got != q.Correct {
+		t.Errorf("nil rng round trip = %d (err %v), want %d", got, err, q.Correct)
+	}
+}
+
 func TestGrade(t *testing.T) {
 	p := Shuffle(sampleQuestion(), rand.New(rand.NewSource(4)))
 	ok, err := p.Grade(p.CorrectOption)
