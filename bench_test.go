@@ -548,6 +548,70 @@ func BenchmarkCOOMerge(b *testing.B) {
 	})
 }
 
+// BenchmarkComposedScenario measures the composition algebra's
+// overhead on the sparse end-to-end path: a three-layer mixture
+// (background overlaying a scan→ddos sequence) generated straight to
+// CSR and disentangled by the mixture classifier, at serial and
+// parallel worker counts.
+func BenchmarkComposedScenario(b *testing.B) {
+	net := netsim.ScaledNetwork(64)
+	zones, err := net.Zones()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := netsim.ParseSpec("overlay(background, sequence(scan, ddos))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := netsim.Params{Duration: 120, Rate: 200, Scale: 4}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				csr, stats, err := netsim.GenerateCSR(s, net, 7, workers, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mixture := patterns.ClassifyMixtureOf(csr, zones); len(mixture) == 0 {
+					b.Fatal("mixture classifier found nothing")
+				}
+				events = stats.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkPermuteCSR measures the parallel host-permutation kernel
+// (the Relabel combinator's matrix-level equivalent) on a scaled
+// scenario matrix.
+func BenchmarkPermuteCSR(b *testing.B) {
+	net := netsim.ScaledNetwork(1000)
+	s, ok := netsim.LookupScenario("background")
+	if !ok {
+		b.Fatal("background scenario missing")
+	}
+	csr, _, err := netsim.GenerateCSR(s, net, 7, 0, netsim.Params{Duration: 60, Rate: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	perm := make([]int, csr.Rows())
+	for i := range perm {
+		perm[i] = (i + 1) % len(perm) // cyclic shift: every row moves
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := matrix.PermuteCSR(csr, perm, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkClassifyGraph(b *testing.B) {
 	var mats []*matrix.Dense
 	for _, e := range patterns.ByFamily(patterns.FamilyGraph) {

@@ -7,6 +7,7 @@
 //	twmodule render file.json [-3d] [-rot N] [-colors] [-ppm out.ppm]
 //	twmodule gen -id fig9c-ddos-attack -o m.json   generate from the catalog
 //	twmodule generate -scenario ddos [-window 10 -o dir]   synthesize from a netsim scenario
+//	twmodule generate -spec 'overlay(background, scan)'    synthesize from a composed mixture
 //	twmodule list                            list catalog pattern IDs
 //	twmodule pack -o lesson.zip file.json... zip modules into a lesson
 //	twmodule unpack -d dir lesson.zip        extract a lesson zip
@@ -106,6 +107,7 @@ func cmdObfuscate(paths []string) error {
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	scenario := fs.String("scenario", "", "netsim scenario name (see twsim -list)")
+	spec := fs.String("spec", "", "composed scenario: an expression like 'overlay(background, scan)' or a file holding one (overrides -scenario)")
 	seed := fs.Int64("seed", 42, "random seed")
 	hosts := fs.Int("hosts", 0, "network size (≤10 = the paper's standard 10-host network)")
 	duration := fs.Float64("duration", 0, "scenario length in seconds (0 = scenario default)")
@@ -119,9 +121,17 @@ func cmdGenerate(args []string) error {
 	if *duration < 0 || *rate < 0 || *scale < 0 || *window < 0 {
 		return fmt.Errorf("generate: duration, rate, scale, and window must not be negative")
 	}
-	s, ok := netsim.LookupScenario(*scenario)
-	if !ok {
-		return fmt.Errorf("generate: unknown scenario %q (run twsim -list for the catalog)", *scenario)
+	var s netsim.Scenario
+	if *spec != "" {
+		var err error
+		if s, err = netsim.LoadSpec(*spec, os.ReadFile); err != nil {
+			return fmt.Errorf("generate: %w", err)
+		}
+	} else {
+		var ok bool
+		if s, ok = netsim.LookupScenario(*scenario); !ok {
+			return fmt.Errorf("generate: unknown scenario %q (run twsim -list for the catalog, or compose one with -spec)", *scenario)
+		}
 	}
 	net := netsim.ScaledNetwork(*hosts)
 	p := netsim.Params{Duration: *duration, Rate: *rate, Scale: *scale}

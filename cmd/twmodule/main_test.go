@@ -33,6 +33,30 @@ func TestGenerateWritesValidModule(t *testing.T) {
 	}
 }
 
+// TestGenerateSpecWritesDisentangleModule drives the spec→module
+// path: a composed mixture renders to a valid module whose question
+// asks for the layered behaviours.
+func TestGenerateSpecWritesDisentangleModule(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mix.json")
+	args := []string{"generate", "-spec", "overlay(background, sequence(scan, ddos))", "-seed", "7", "-o", path}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModuleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := m.Validate(); !issues.OK() {
+		t.Fatalf("generated module invalid:\n%s", issues.Errs())
+	}
+	if !strings.Contains(m.Question, "layered") {
+		t.Errorf("question %q is not the disentangle question", m.Question)
+	}
+	if correct := m.Answers[m.CorrectAnswerElement]; correct != "background + ddos + scan" {
+		t.Errorf("correct answer = %q, want the component set", correct)
+	}
+}
+
 // TestGenerateWritesPlayableCampaign drives the scenario→course
 // path: course.json plus lesson zips, loadable exactly the way
 // trafficwarehouse -course does.
@@ -81,6 +105,7 @@ func TestGenerateRejectsBadInput(t *testing.T) {
 	}{
 		{"unknown scenario", []string{"generate", "-scenario", "nope"}},
 		{"missing scenario", []string{"generate"}},
+		{"broken spec", []string{"generate", "-spec", "overlay(background"}},
 		{"campaign without output", []string{"generate", "-scenario", "ddos", "-window", "5"}},
 		{"negative duration", []string{"generate", "-scenario", "ddos", "-duration", "-1"}},
 	} {

@@ -5,6 +5,13 @@
 // on the concurrent scenario engine (-workers), scales to larger
 // networks (-hosts) and volumes (-scale), and can export any window
 // as a learning module, turning live traffic into lesson content.
+// Beyond the catalog, -spec runs arbitrary scenario mixtures built
+// with the composition algebra — an inline expression like
+//
+//	twsim -spec 'overlay(background, sequence(scan@10s, ddos))'
+//
+// or a file holding one — and the aggregate block adds the mixture
+// classifier's attempt to disentangle the layers.
 // The whole-run aggregate readings fold the trace into a CSR and
 // classify it through the matrix.Matrix accessor, reporting the
 // sparse-path timings — the aggregate analysis never materializes an
@@ -48,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	// production); only an explicit -h prints usage, to stdout.
 	fs.SetOutput(io.Discard)
 	scenario := fs.String("scenario", "ddos", "scenario name from the catalog (see -list)")
+	spec := fs.String("spec", "", "composed scenario: an expression like 'overlay(background, scan)' or a file holding one (overrides -scenario)")
 	list := fs.Bool("list", false, "list the scenario catalog and exit")
 	seed := fs.Int64("seed", 42, "random seed")
 	duration := fs.Float64("duration", 40, "scenario length in seconds")
@@ -77,9 +85,18 @@ func run(args []string, stdout io.Writer) error {
 		return listCatalog(stdout)
 	}
 
-	s, ok := netsim.LookupScenario(*scenario)
-	if !ok {
-		return fmt.Errorf("unknown scenario %q (run with -list to see the catalog)", *scenario)
+	var s netsim.Scenario
+	if *spec != "" {
+		var err error
+		if s, err = netsim.LoadSpec(*spec, os.ReadFile); err != nil {
+			return err
+		}
+	} else {
+		var ok bool
+		if s, ok = netsim.LookupScenario(*scenario); !ok {
+			return fmt.Errorf("unknown scenario %q; available: %s (or compose one with -spec)",
+				*scenario, strings.Join(catalogNames(), ", "))
+		}
 	}
 	if *duration <= 0 {
 		return fmt.Errorf("duration must be positive, got %g", *duration)
@@ -179,6 +196,7 @@ func run(args []string, stdout io.Writer) error {
 	behavior, bconf := patterns.ClassifyBehaviorOf(csr, zones)
 	topology := patterns.ClassifyTopologyOf(csr, zones)
 	stage, sconf := patterns.ClassifyAttackStageOf(csr, zones)
+	mixture := patterns.ClassifyMixtureOf(csr, zones)
 	analyzeElapsed := time.Since(analyzeStart)
 
 	fmt.Fprintln(stdout, "\n── aggregate readings (sparse CSR path)")
@@ -195,6 +213,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "   topology:  %s\n", topology)
 	fmt.Fprintf(stdout, "   attack:    %s (%.2f)\n", stage, sconf)
+	if len(mixture) > 0 {
+		parts := make([]string, len(mixture))
+		for i, c := range mixture {
+			parts[i] = fmt.Sprintf("%s (%.2f)", c.Label, c.Score)
+		}
+		fmt.Fprintf(stdout, "   mixture:   %s\n", strings.Join(parts, " + "))
+	}
+	if comp, ok := s.(netsim.Composite); ok {
+		names := make([]string, 0, len(comp.Components()))
+		for _, leaf := range netsim.Leaves(s) {
+			names = append(names, leaf.Name())
+		}
+		fmt.Fprintf(stdout, "   composed of: %s\n", strings.Join(names, " + "))
+	}
 
 	if *exportPath != "" && busiest != nil {
 		m := moduleFromMatrix(busiest.ToDense(), net, zones, s.Name())
@@ -208,6 +240,16 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\nexported busiest window as %s\n", *exportPath)
 	}
 	return nil
+}
+
+// catalogNames returns the registered scenario names in catalog
+// order, for error messages pointing lost users at -list.
+func catalogNames() []string {
+	var names []string
+	for _, s := range netsim.Scenarios() {
+		names = append(names, s.Name())
+	}
+	return names
 }
 
 // listCatalog prints every registered scenario with its shape and

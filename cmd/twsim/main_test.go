@@ -118,12 +118,113 @@ func TestRunSameOutputAnyWorkers(t *testing.T) {
 	}
 }
 
+// TestRunSpecComposed pins the acceptance flow: a composed spec runs
+// end to end on the sparse CSR path, prints the merged ground-truth
+// schedule, and the mixture classifier names the component shapes.
+func TestRunSpecComposed(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-spec", "overlay(background, sequence(scan, ddos))",
+		"-seed", "42", "-workers", "1", "-plain", "-norender",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ground truth schedule:", // merged phases survive composition
+		"command and control",    // … including the DDoS components
+		"mixture:",               // the disentangle reading
+		"composed of: background + scan + ddos",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("composed run output missing %q", want)
+		}
+	}
+	mixLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "mixture:") {
+			mixLine = line
+		}
+	}
+	for _, shape := range []string{"background", "scan", "ddos"} {
+		if !strings.Contains(mixLine, shape) {
+			t.Errorf("mixture reading %q missing component %q", mixLine, shape)
+		}
+	}
+	checkGolden(t, "spec_composed.golden", out)
+}
+
+// TestRunSpecFromFile: -spec also accepts a file holding the
+// expression.
+func TestRunSpecFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mix.spec")
+	if err := os.WriteFile(path, []byte("overlay(background, sequence(scan, ddos))\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var inline, fromFile bytes.Buffer
+	base := []string{"-seed", "42", "-workers", "1", "-plain", "-norender"}
+	if err := run(append([]string{"-spec", "overlay(background, sequence(scan, ddos))"}, base...), &inline); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-spec", path}, base...), &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if normalize(inline.String()) != normalize(fromFile.String()) {
+		t.Error("file spec output differs from inline spec output")
+	}
+}
+
+// TestRunSpecSameOutputAnyWorkers extends the CLI determinism pin to
+// composed scenarios.
+func TestRunSpecSameOutputAnyWorkers(t *testing.T) {
+	outs := make([]string, 2)
+	for i, workers := range []string{"1", "4"} {
+		var buf bytes.Buffer
+		args := []string{
+			"-spec", "sequence(scan@4s, amplify(ddos, 2))", "-seed", "3",
+			"-duration", "12", "-window", "4", "-workers", workers, "-plain", "-norender",
+		}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		out := normalize(buf.String())
+		out = strings.ReplaceAll(out, "workers="+workers, "workers=N")
+		outs[i] = out
+	}
+	if outs[0] != outs[1] {
+		t.Error("composed twsim output differs between 1 and 4 workers")
+	}
+}
+
+// TestRunUnknownScenarioListsCatalog pins the error path: an unknown
+// -scenario must fail (main exits 1) with the available catalog names
+// in the message.
+func TestRunUnknownScenarioListsCatalog(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scenario", "nope"}, &buf)
+	if err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+	for _, name := range []string{"background", "scan", "attack", "ddos", "worm", "exfil", "flashcrowd", "beacon"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q missing catalog name %q", err, name)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("error path wrote %q to stdout; the message belongs on stderr", buf.String())
+	}
+	checkGolden(t, "unknown_scenario.golden", err.Error())
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		args []string
 	}{
 		{"unknown scenario", []string{"-scenario", "nope"}},
+		{"broken spec", []string{"-spec", "overlay(background"}},
+		{"unknown spec name", []string{"-spec", "overlay(background, nope)"}},
 		{"bad duration", []string{"-duration", "-1"}},
 		{"bad rate", []string{"-rate", "0", "-scenario", "background"}},
 		{"bad scale", []string{"-scale", "0"}},

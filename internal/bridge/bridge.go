@@ -12,10 +12,20 @@
 // aggregation window, bundling the result as a course.Course whose
 // units gate the window-by-window timeline behind the aggregate
 // overview — a whole course unit from a single catalog entry.
+//
+// Composed scenarios (netsim's composition algebra: Overlay,
+// Sequence, Dilate, Amplify, Relabel) flow through the same paths —
+// ModuleFromSpec renders a declarative spec expression directly —
+// but their aggregate question asks the student to disentangle the
+// mixture: name the set of behaviours layered into the matrix, with
+// near-miss sets as distractors. Their campaigns inherit the merged
+// ground-truth schedule, so timeline windows still ask which phase
+// (of whichever component owns the window) is showing.
 package bridge
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -51,11 +61,28 @@ func AggregateModule(s netsim.Scenario, net *netsim.Network, seed int64, p netsi
 	return aggregateModule(s, net, zones, csr), nil
 }
 
+// ModuleFromSpec parses a composition expression (see
+// netsim.ParseSpec) and renders the resulting mixture as a playable
+// module whose question asks the student to disentangle the layers —
+// the one-call authoring path from a declarative spec to lesson
+// content.
+func ModuleFromSpec(spec string, net *netsim.Network, seed int64, p netsim.Params) (*core.Module, error) {
+	s, err := netsim.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("bridge: %w", err)
+	}
+	return AggregateModule(s, net, seed, p)
+}
+
 // aggregateModule renders an already-aggregated run as the
-// scenario's overview module with the shape question; shared by
+// scenario's overview module: primitive scenarios get the shape
+// question, composed ones the disentangle question. Shared by
 // AggregateModule and the campaign's overview lesson.
 func aggregateModule(s netsim.Scenario, net *netsim.Network, zones patterns.Zones, csr *matrix.CSR) *core.Module {
 	q := shapeQuestion(s)
+	if _, ok := s.(netsim.Composite); ok {
+		q = disentangleQuestion(s)
+	}
 	return buildModule(
 		titleCase(s.Name())+" — aggregate traffic",
 		fmt.Sprintf("Aggregate traffic matrix of a %d-host scenario run.", net.Len()),
@@ -124,6 +151,56 @@ func shapeQuestion(s netsim.Scenario) quiz.Question {
 	}
 	return assemble(
 		"Which shape does this scenario's aggregate traffic matrix draw?",
+		answers, len(s.Name()),
+	)
+}
+
+// disentangleQuestion asks the student to name the set of scenario
+// behaviours layered into a composed run — the skill mixtures teach.
+// The correct answer is the set of primitive components; distractors
+// are near-miss sets that swap one component for a catalog shape that
+// is not in the mixture, so recognizing most-but-not-all layers is
+// not enough.
+func disentangleQuestion(s netsim.Scenario) quiz.Question {
+	leaves := netsim.Leaves(s)
+	inMix := map[string]bool{}
+	var members []string
+	for _, leaf := range leaves {
+		if !inMix[leaf.Name()] {
+			inMix[leaf.Name()] = true
+			members = append(members, leaf.Name())
+		}
+	}
+	sort.Strings(members)
+	var others []string
+	for _, entry := range netsim.Scenarios() {
+		if _, composed := entry.(netsim.Composite); composed {
+			continue // registered composites are answers, not shapes
+		}
+		if !inMix[entry.Name()] {
+			others = append(others, entry.Name())
+		}
+	}
+	answers := []string{strings.Join(members, " + ")}
+	for k := 0; len(answers) < quiz.RecommendedChoices && k < len(others); k++ {
+		wrong := append([]string(nil), members...)
+		wrong[k%len(wrong)] = others[k]
+		sort.Strings(wrong)
+		if candidate := strings.Join(wrong, " + "); !contains(answers, candidate) {
+			answers = append(answers, candidate)
+		}
+	}
+	// A degenerate catalog (every primitive already in the mixture)
+	// falls back to proper subsets as distractors.
+	for k := 0; len(answers) < 2 && k < len(members) && len(members) > 1; k++ {
+		subset := append([]string(nil), members[:k]...)
+		subset = append(subset, members[k+1:]...)
+		if candidate := strings.Join(subset, " + "); !contains(answers, candidate) {
+			answers = append(answers, candidate)
+		}
+	}
+	return assemble(
+		"Which set of behaviours is layered into this composed traffic matrix?",
 		answers, len(s.Name()),
 	)
 }

@@ -67,6 +67,82 @@ func TestModuleFromScenarioAllCatalog(t *testing.T) {
 	}
 }
 
+// TestModuleFromSpecDisentangleQuestion: a composed spec renders into
+// a valid module whose question asks for the component set, with the
+// true mixture as the gradeable correct answer.
+func TestModuleFromSpecDisentangleQuestion(t *testing.T) {
+	net := netsim.StandardNetwork()
+	m, err := ModuleFromSpec("overlay(background, sequence(scan, ddos))", net, 42, netsim.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := m.Validate(); !issues.OK() {
+		t.Fatalf("module invalid:\n%s", issues.Errs())
+	}
+	gradeable(t, m)
+	if !strings.Contains(m.Question, "layered") {
+		t.Errorf("question %q is not the disentangle question", m.Question)
+	}
+	correct := m.Answers[m.CorrectAnswerElement]
+	if correct != "background + ddos + scan" {
+		t.Errorf("correct answer = %q, want the sorted component set", correct)
+	}
+	for i, a := range m.Answers {
+		if i != m.CorrectAnswerElement && a == correct {
+			t.Errorf("distractor %d duplicates the correct answer", i)
+		}
+	}
+	if len(m.Answers) != quiz.RecommendedChoices {
+		t.Errorf("%d answers, want %d", len(m.Answers), quiz.RecommendedChoices)
+	}
+
+	if _, err := ModuleFromSpec("overlay(", net, 42, netsim.Params{}); err == nil {
+		t.Error("broken spec accepted")
+	}
+}
+
+// TestCampaignFromComposedScenario: a composed scenario's campaign
+// carries the merged schedule into its timeline questions and writes
+// shell-friendly lesson references.
+func TestCampaignFromComposedScenario(t *testing.T) {
+	s, err := netsim.ParseSpec("sequence(scan@10s, ddos)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CampaignFromScenario(s, netsim.StandardNetwork(), 42, netsim.Params{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Course.ResolveAll(c.Loader()); err != nil {
+		t.Fatal(err)
+	}
+	for ref := range c.Lessons {
+		if strings.ContainsAny(ref, "(),@= ") {
+			t.Errorf("lesson reference %q is not shell-friendly", ref)
+		}
+	}
+	// The first timeline window sits in the scan slot, the later ones
+	// in the DDoS phases: both component vocabularies must appear.
+	var prompts, answers []string
+	for _, lesson := range c.Lessons {
+		for _, m := range lesson.Modules {
+			gradeable(t, m)
+			prompts = append(prompts, m.Question)
+			answers = append(answers, m.Answers...)
+		}
+	}
+	all := strings.Join(answers, "\n")
+	if !strings.Contains(all, "scan") {
+		t.Errorf("no scan phase among timeline answers:\n%s", all)
+	}
+	if !strings.Contains(all, "command and control") {
+		t.Errorf("no DDoS component phase among timeline answers:\n%s", all)
+	}
+	if !strings.Contains(strings.Join(prompts, "\n"), "layered") {
+		t.Errorf("overview prompt is not the disentangle question:\n%s", strings.Join(prompts, "\n"))
+	}
+}
+
 // TestModuleMatrixStaysDisplayable pins the clamp: no cell exceeds
 // the paper's display guidance even for heavy scenarios.
 func TestModuleMatrixStaysDisplayable(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/course"
@@ -82,8 +83,8 @@ func CampaignFromScenario(s netsim.Scenario, net *netsim.Network, seed int64, p 
 		))
 	}
 
-	overviewRef := s.Name() + "_overview.zip"
-	timelineRef := s.Name() + "_timeline.zip"
+	overviewRef := refSlug(s.Name()) + "_overview.zip"
+	timelineRef := refSlug(s.Name()) + "_timeline.zip"
 	c := &Campaign{
 		Scenario: s.Name(),
 		Lessons:  map[string]*core.Lesson{overviewRef: overview},
@@ -110,6 +111,28 @@ func CampaignFromScenario(s netsim.Scenario, net *netsim.Network, seed int64, p 
 		return nil, fmt.Errorf("bridge: synthesized course invalid: %w", err)
 	}
 	return c, nil
+}
+
+// refSlug turns a scenario name into a filesystem-friendly lesson
+// reference: composed names carry parentheses, commas, '@', and '='
+// from the spec grammar, which collapse to underscores so the
+// campaign's zip files stay shell-friendly.
+func refSlug(name string) string {
+	var b strings.Builder
+	lastUnderscore := false
+	for _, r := range name {
+		ok := r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		switch {
+		case ok:
+			b.WriteRune(r)
+			lastUnderscore = false
+		case !lastUnderscore:
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	return strings.Trim(b.String(), "_")
 }
 
 // Loader resolves the campaign's lesson references in memory,

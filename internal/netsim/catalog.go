@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -19,6 +20,18 @@ type Params struct {
 	// Scale multiplies the scenario's volume by repeating its script
 	// (default 1). Scaled repetitions shard cleanly across workers.
 	Scale int
+}
+
+// validate rejects parameter fields no scenario arithmetic can give
+// meaning to: NaN and ±Inf durations or rates.
+func (p Params) validate() error {
+	if math.IsNaN(p.Duration) || math.IsInf(p.Duration, 0) {
+		return fmt.Errorf("netsim: duration must be finite, got %g", p.Duration)
+	}
+	if math.IsNaN(p.Rate) || math.IsInf(p.Rate, 0) {
+		return fmt.Errorf("netsim: rate must be finite, got %g", p.Rate)
+	}
+	return nil
 }
 
 // withDefaults fills zero fields with the documented defaults.

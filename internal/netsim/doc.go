@@ -45,7 +45,26 @@
 //
 // patterns.ClassifyBehavior recognizes the four extended shapes;
 // patterns.ClassifyTopology, ClassifyAttackStage, and ClassifyDDoS
-// cover the originals.
+// cover the originals; patterns.ClassifyMixtureOf scores all eight
+// at once for composed traffic.
+//
+// # Composition algebra
+//
+// Real traffic is never one pure pattern, so the catalog is closed
+// under composition: Overlay layers scenarios over one timeline,
+// Sequence concatenates them in time (with optional per-step
+// durations), Dilate stretches a script's tempo, Amplify multiplies
+// its volume, and Relabel permutes its hosts (the matrix-level twin
+// of matrix.PermuteCSR). Every combinator implements the same
+// Scenario chunk contract, deriving its partition from its
+// components', so composed scenarios shard across workers exactly
+// like primitives; Scheduler phase lists are merged, offset, or
+// stretched so ground truth survives. ParseSpec builds combinator
+// trees from expressions like
+//
+//	overlay(background, sequence(scan@10s, ddos))
+//
+// and RegisterSpec files the result into the catalog at runtime.
 //
 // # Concurrency model
 //

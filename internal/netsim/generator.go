@@ -49,13 +49,19 @@ func chunkRNG(seed int64, chunk int) *rand.Rand {
 }
 
 // planRun validates the configuration and resolves the chunk and
-// worker counts. workers ≤ 0 selects runtime.NumCPU().
+// worker counts. workers ≤ 0 selects runtime.NumCPU(). NaN and ±Inf
+// parameter fields are rejected here, before any chunk math: a NaN
+// duration would otherwise flow through math.Ceil into a bogus chunk
+// count and fail far from the bad input.
 func planRun(s Scenario, net *Network, workers int, p Params) (chunks, nworkers int, pd Params, err error) {
 	if s == nil {
 		return 0, 0, p, fmt.Errorf("netsim: nil scenario")
 	}
 	if net == nil {
 		return 0, 0, p, fmt.Errorf("netsim: nil network")
+	}
+	if err := p.validate(); err != nil {
+		return 0, 0, p, err
 	}
 	pd = p.withDefaults()
 	chunks = s.Chunks(net, pd)

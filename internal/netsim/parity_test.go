@@ -71,6 +71,12 @@ func TestCatalogCSRAnalysisParity(t *testing.T) {
 						net.Len(), db, dconf, cb, cconf)
 				}
 
+				dm := patterns.ClassifyMixture(dense, zones)
+				cm := patterns.ClassifyMixtureOf(csr, zones)
+				if !reflect.DeepEqual(dm, cm) {
+					t.Errorf("hosts=%d: ClassifyMixture mismatch: dense %v, csr %v", net.Len(), dm, cm)
+				}
+
 				if got, want := patterns.ClassifyTopologyOf(csr, zones), patterns.ClassifyTopology(dense, zones); got != want {
 					t.Errorf("hosts=%d: ClassifyTopology mismatch: %v vs %v", net.Len(), got, want)
 				}
