@@ -15,30 +15,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
-	"repro/internal/bridge"
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/game"
-	"repro/internal/modules"
-	"repro/internal/netsim"
-	"repro/internal/patterns"
 	"repro/internal/render"
 	"repro/internal/term"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "twmodule:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: twmodule <new|validate|info|render|gen|generate|list|pack|unpack> ...")
 	}
@@ -46,7 +47,7 @@ func run(args []string) error {
 	case "new":
 		return cmdNew(args[1:])
 	case "generate":
-		return cmdGenerate(args[1:])
+		return cmdGenerate(ctx, args[1:])
 	case "validate":
 		return cmdValidate(args[1:])
 	case "info":
@@ -54,7 +55,7 @@ func run(args []string) error {
 	case "render":
 		return cmdRender(args[1:])
 	case "gen":
-		return cmdGen(args[1:])
+		return cmdGen(ctx, args[1:])
 	case "list":
 		return cmdList()
 	case "pack":
@@ -99,12 +100,12 @@ func cmdObfuscate(paths []string) error {
 	return nil
 }
 
-// cmdGenerate synthesizes teaching content from the netsim scenario
-// catalog through the bridge: by default one aggregate-traffic
-// module with an auto-generated question, or — with -window — a
-// whole campaign directory (course.json plus lesson zips) that
+// cmdGenerate synthesizes teaching content from the scenario catalog
+// through the api façade: by default one aggregate-traffic module
+// with an auto-generated question, or — with -window — a whole
+// campaign directory (course.json plus lesson zips) that
 // trafficwarehouse -course plays end to end.
-func cmdGenerate(args []string) error {
+func cmdGenerate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	scenario := fs.String("scenario", "", "netsim scenario name (see twsim -list)")
 	spec := fs.String("spec", "", "composed scenario: an expression like 'overlay(background, scan)' or a file holding one (overrides -scenario)")
@@ -118,30 +119,34 @@ func cmdGenerate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *duration < 0 || *rate < 0 || *scale < 0 || *window < 0 {
-		return fmt.Errorf("generate: duration, rate, scale, and window must not be negative")
+	// A negative window would silently select the single-module path
+	// below; reject it like every other nonsense parameter (the
+	// façade validates the rest).
+	if *window < 0 {
+		return fmt.Errorf("generate: window must not be negative, got %g", *window)
 	}
-	var s netsim.Scenario
+	if *scenario == "" && *spec == "" {
+		return fmt.Errorf("generate: need -scenario or -spec (run twsim -list for the catalog)")
+	}
+	requested := *scenario
 	if *spec != "" {
-		var err error
-		if s, err = netsim.LoadSpec(*spec, os.ReadFile); err != nil {
+		canonical, err := api.ResolveSpecArg(*spec, os.ReadFile)
+		if err != nil {
 			return fmt.Errorf("generate: %w", err)
 		}
-	} else {
-		var ok bool
-		if s, ok = netsim.LookupScenario(*scenario); !ok {
-			return fmt.Errorf("generate: unknown scenario %q (run twsim -list for the catalog, or compose one with -spec)", *scenario)
-		}
+		requested = canonical
 	}
-	net := netsim.ScaledNetwork(*hosts)
-	p := netsim.Params{Duration: *duration, Rate: *rate, Scale: *scale}
+	svc := api.New()
 	if *window > 0 {
 		if *out == "" {
 			return fmt.Errorf("generate: -window needs -o <campaign directory>")
 		}
-		c, err := bridge.CampaignFromScenario(s, net, *seed, p, *window)
+		c, err := svc.Campaign(ctx, api.CampaignRequest{
+			Spec: requested, Window: *window, Hosts: *hosts, Seed: *seed,
+			Duration: *duration, Rate: *rate, Scale: *scale,
+		})
 		if err != nil {
-			return err
+			return fmt.Errorf("generate: %w", err)
 		}
 		if err := c.WriteDir(*out); err != nil {
 			return err
@@ -154,9 +159,12 @@ func cmdGenerate(args []string) error {
 		fmt.Printf("play it: cd %s && trafficwarehouse -course course.json\n", *out)
 		return nil
 	}
-	m, err := bridge.AggregateModule(s, net, *seed, p)
+	m, err := svc.Module(ctx, api.ModuleRequest{
+		Spec: requested, Hosts: *hosts, Seed: *seed,
+		Duration: *duration, Rate: *rate, Scale: *scale,
+	})
 	if err != nil {
-		return err
+		return fmt.Errorf("generate: %w", err)
 	}
 	return writeModule(m, *out)
 }
@@ -308,30 +316,28 @@ func cmdRender(args []string) error {
 	return nil
 }
 
-func cmdGen(args []string) error {
+func cmdGen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	id := fs.String("id", "", "catalog pattern ID (see twmodule list)")
 	out := fs.String("o", "", "output file (stdout when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	entry, ok := patterns.Lookup(*id)
-	if !ok {
-		return fmt.Errorf("gen: unknown pattern %q", *id)
-	}
-	m, err := modules.FromEntry(entry)
+	m, err := api.New().Module(ctx, api.ModuleRequest{Pattern: *id})
 	if err != nil {
-		return err
+		return fmt.Errorf("gen: %w", err)
 	}
 	return writeModule(m, *out)
 }
 
 func cmdList() error {
-	for _, f := range patterns.Families() {
-		fmt.Printf("%s:\n", f)
-		for _, e := range patterns.ByFamily(f) {
-			fmt.Printf("  %-28s Fig %-4s %s\n", e.ID, e.Figure, e.Title)
+	family := ""
+	for _, e := range api.New().Catalog(context.Background()).Patterns {
+		if e.Family != family {
+			family = e.Family
+			fmt.Printf("%s:\n", family)
 		}
+		fmt.Printf("  %-28s Fig %-4s %s\n", e.ID, e.Figure, e.Title)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ import (
 // and carries a question.
 func TestGenerateWritesValidModule(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ddos.json")
-	if err := run([]string{"generate", "-scenario", "ddos", "-seed", "7", "-o", path}); err != nil {
+	if err := run(context.Background(), []string{"generate", "-scenario", "ddos", "-seed", "7", "-o", path}); err != nil {
 		t.Fatal(err)
 	}
 	m, err := core.LoadModuleFile(path)
@@ -39,7 +40,7 @@ func TestGenerateWritesValidModule(t *testing.T) {
 func TestGenerateSpecWritesDisentangleModule(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "mix.json")
 	args := []string{"generate", "-spec", "overlay(background, sequence(scan, ddos))", "-seed", "7", "-o", path}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	m, err := core.LoadModuleFile(path)
@@ -63,7 +64,7 @@ func TestGenerateSpecWritesDisentangleModule(t *testing.T) {
 func TestGenerateWritesPlayableCampaign(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "campaign")
 	args := []string{"generate", "-scenario", "attack", "-seed", "7", "-window", "10", "-o", dir}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	t.Chdir(dir)
@@ -109,8 +110,26 @@ func TestGenerateRejectsBadInput(t *testing.T) {
 		{"campaign without output", []string{"generate", "-scenario", "ddos", "-window", "5"}},
 		{"negative duration", []string{"generate", "-scenario", "ddos", "-duration", "-1"}},
 	} {
-		if err := run(tc.args); err == nil {
+		if err := run(context.Background(), tc.args); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
+	}
+}
+
+// TestGenerateRejectsNegativeWindow: a negative -window must error,
+// not silently fall through to the single-module path.
+func TestGenerateRejectsNegativeWindow(t *testing.T) {
+	err := run(context.Background(), []string{"generate", "-scenario", "ddos", "-window", "-5", "-o", filepath.Join(t.TempDir(), "m.json")})
+	if err == nil || !strings.Contains(err.Error(), "window") {
+		t.Errorf("negative window: err = %v, want a window error", err)
+	}
+}
+
+// TestGenerateNeedsScenarioOrSpec: forgetting both flags gives an
+// actionable message, not façade internals about 'pattern'.
+func TestGenerateNeedsScenarioOrSpec(t *testing.T) {
+	err := run(context.Background(), []string{"generate", "-o", filepath.Join(t.TempDir(), "m.json")})
+	if err == nil || !strings.Contains(err.Error(), "-scenario or -spec") {
+		t.Errorf("missing flags: err = %v, want the -scenario/-spec hint", err)
 	}
 }

@@ -1,0 +1,217 @@
+// Command twserve is the HTTP front-end of the internal/api façade:
+// the served, multi-user face of the teaching pipeline. Every route
+// is a thin JSON shim over one Service method — the same methods the
+// twsim and twmodule CLIs call in-process — so a classroom of
+// clients shares one deterministic result cache and one session
+// registry.
+//
+//	twserve -addr :8080
+//
+//	GET  /v1/catalog    scenario + figure-pattern catalog
+//	POST /v1/generate   api.GenerateRequest  → api.GenerateResult
+//	POST /v1/analyze    api.AnalyzeRequest   → api.AnalyzeResult
+//	POST /v1/module     api.ModuleRequest    → core.Module JSON
+//	GET  /v1/sessions   in-flight work
+//	GET  /v1/cache      result-cache counters
+//
+// Cancellation is end to end: a client hanging up cancels the
+// request context, which aborts the sharded generation workers
+// mid-run; nothing partial is cached. Responses carry an X-Cache
+// header ("hit" or "miss") so load tests can see the classroom hot
+// path working.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheCap := flag.Int("cache", api.DefaultCacheCapacity, "result cache capacity (0 disables)")
+	workers := flag.Int("workers", 0, "default generation workers (0 = all CPUs)")
+	flag.Parse()
+
+	svc := api.New(api.WithCacheCapacity(*cacheCap), api.WithDefaultWorkers(*workers))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until interrupted, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("twserve: listening on %s (api %s, cache %d)", *addr, api.Version, *cacheCap)
+	select {
+	case err := <-errc:
+		log.Fatalf("twserve: %v", err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("twserve: shutdown: %v", err)
+		}
+	}
+}
+
+// maxBodyBytes bounds request bodies; an analyze matrix at the
+// paper's sizes is a few KB, so 8 MiB leaves room for large posted
+// matrices without inviting abuse.
+const maxBodyBytes = 8 << 20
+
+// newMux builds the route table over a service. Split from main so
+// the test suite can drive the full HTTP surface through httptest.
+func newMux(svc *api.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no such route %s (api version %s)", r.URL.Path, api.Version))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{
+			"service": "twserve",
+			"version": api.Version,
+			"routes":  "GET /v1/catalog · POST /v1/generate · POST /v1/analyze · POST /v1/module · GET /v1/sessions · GET /v1/cache",
+		})
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Catalog(r.Context()))
+	})
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		var req api.GenerateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := svc.Generate(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		w.Header().Set("X-Cache", cacheHeader(res.CacheHit))
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		var req api.AnalyzeRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := svc.Analyze(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		w.Header().Set("X-Cache", cacheHeader(res.CacheHit))
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/module", func(w http.ResponseWriter, r *http.Request) {
+		var req api.ModuleRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		m, err := svc.Module(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Sessions())
+	})
+	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.CacheStats())
+	})
+	return mux
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// readJSON decodes a bounded request body, answering 413 when the
+// body busts the size cap and 400 on garbage. It reports whether
+// the handler should proceed.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return false
+	}
+	if len(body) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty request body; send a JSON request object"))
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// serviceError maps façade errors onto status codes: invalid
+// requests are the caller's fault (400), a cancelled request context
+// means the client hung up (499, best-effort — the connection is
+// usually gone), everything else is a 500.
+func serviceError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, api.ErrInvalidRequest):
+		httpError(w, http.StatusBadRequest, err)
+	case errors.Is(err, api.ErrSessionCancelled):
+		// The run was killed server-side (CancelSession) while this
+		// client was still connected.
+		httpError(w, http.StatusConflict, err)
+	case errors.Is(err, context.Canceled), errors.Is(r.Context().Err(), context.Canceled):
+		// 499 is nginx's "client closed request"; there is no
+		// standard constant.
+		httpError(w, 499, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error   string `json:"error"`
+	Version string `json:"version"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error(), Version: api.Version})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but log.
+		log.Printf("twserve: encode response: %v", err)
+	}
+}

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+// newTestServer stands up the full route table over a fresh service.
+func newTestServer(t *testing.T, opts ...api.Option) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newMux(api.New(opts...)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	cat := decode[api.CatalogResult](t, resp)
+	if cat.Version != api.Version || len(cat.Scenarios) < 8 || len(cat.Patterns) == 0 {
+		t.Errorf("catalog = version %q, %d scenarios, %d patterns",
+			cat.Version, len(cat.Scenarios), len(cat.Patterns))
+	}
+}
+
+// TestGenerateEndpointCachesAcrossClients is the served classroom
+// hot path: the second identical request is a cache hit, visible in
+// both the X-Cache header and the response body.
+func TestGenerateEndpointCachesAcrossClients(t *testing.T) {
+	srv := newTestServer(t)
+	req := api.GenerateRequest{Spec: "scan", Seed: 1, Workers: 1, Duration: 4, Window: 2}
+
+	cold := postJSON(t, srv.URL+"/v1/generate", req)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status = %d", cold.StatusCode)
+	}
+	if h := cold.Header.Get("X-Cache"); h != "miss" {
+		t.Errorf("cold X-Cache = %q", h)
+	}
+	coldRes := decode[api.GenerateResult](t, cold)
+	if coldRes.CacheHit || coldRes.Events == 0 || len(coldRes.Windows) != 2 {
+		t.Errorf("cold result = hit=%v events=%d windows=%d", coldRes.CacheHit, coldRes.Events, len(coldRes.Windows))
+	}
+
+	warm := postJSON(t, srv.URL+"/v1/generate", req)
+	if h := warm.Header.Get("X-Cache"); h != "hit" {
+		t.Errorf("warm X-Cache = %q", h)
+	}
+	warmRes := decode[api.GenerateResult](t, warm)
+	if !warmRes.CacheHit {
+		t.Error("warm response body does not mark the cache hit")
+	}
+	if warmRes.Events != coldRes.Events || warmRes.Packets != coldRes.Packets {
+		t.Error("warm result differs from cold result")
+	}
+}
+
+func TestGenerateEndpointBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	for name, body := range map[string]string{
+		"garbage json":     "{nope",
+		"empty body":       "",
+		"unknown scenario": `{"spec":"nope"}`,
+		"negative rate":    `{"spec":"scan","rate":-1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/generate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := decode[struct {
+			Error string `json:"error"`
+		}](t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: no error message in body", name)
+		}
+	}
+}
+
+// TestGenerateEndpointCancellation: a client hanging up mid-request
+// aborts the run server-side and leaves the cache unpoisoned.
+func TestGenerateEndpointCancellation(t *testing.T) {
+	srv := newTestServer(t)
+	// Heavy enough to outlive the 20ms hangup below.
+	body := `{"spec":"amplify(background, 200)","hosts":400,"duration":60,"workers":2}`
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/generate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("request survived its cancelled context")
+	}
+
+	// The aborted run must not have been cached: a fresh stats probe
+	// shows no entries.
+	resp, err := http.Get(srv.URL + "/v1/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	stats := decode[api.CacheStats](t, resp)
+	if stats.Len != 0 {
+		t.Errorf("cancelled request left %d cache entries", stats.Len)
+	}
+}
+
+func TestAnalyzeEndpointMatrixPath(t *testing.T) {
+	srv := newTestServer(t)
+	rows := make([][]int, 10)
+	for i := range rows {
+		rows[i] = make([]int, 10)
+		if i != 3 {
+			rows[i][3] = 9
+		}
+	}
+	resp := postJSON(t, srv.URL+"/v1/analyze", api.AnalyzeRequest{Matrix: rows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res := decode[api.AnalyzeResult](t, resp)
+	if res.Source != "matrix" || res.Aggregate.Profile.NNZ != 9 || len(res.Supernodes) == 0 {
+		t.Errorf("analyze result = %+v", res)
+	}
+}
+
+func TestModuleEndpointReturnsValidModule(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/module", api.ModuleRequest{Spec: "ddos", Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	m := decode[core.Module](t, resp)
+	if issues := m.Validate(); !issues.OK() {
+		t.Fatalf("served module invalid:\n%s", issues.Errs())
+	}
+	if !m.HasQuestion {
+		t.Error("served module has no question")
+	}
+}
+
+func TestSessionsAndRootEndpoints(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("sessions status = %d", resp.StatusCode)
+	}
+	if sessions := decode[[]api.SessionInfo](t, resp); len(sessions) != 0 {
+		t.Errorf("idle server reports %d sessions", len(sessions))
+	}
+
+	root, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Body.Close()
+	if root.StatusCode != http.StatusOK {
+		t.Errorf("root status = %d", root.StatusCode)
+	}
+	missing, err := http.Get(srv.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route status = %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestGenerateEndpointIncludeMatrices: the wire form can carry the
+// dense grids when asked.
+func TestGenerateEndpointIncludeMatrices(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/generate", api.GenerateRequest{
+		Spec: "ddos", Seed: 2, Workers: 1, Duration: 4, Window: 2, IncludeMatrices: true,
+	})
+	res := decode[api.GenerateResult](t, resp)
+	if len(res.Cells) != res.Hosts {
+		t.Errorf("aggregate cells rows = %d, want %d", len(res.Cells), res.Hosts)
+	}
+	for _, w := range res.Windows {
+		if len(w.Cells) != res.Hosts {
+			t.Fatalf("window %d cells rows = %d, want %d", w.Index, len(w.Cells), res.Hosts)
+		}
+	}
+	sum := 0
+	for _, row := range res.Cells {
+		if len(row) != res.Hosts {
+			t.Fatalf("ragged aggregate cells")
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	if sum != res.Packets-windowDropped(res) {
+		// Dropped packets never land in the matrix; everything else
+		// must.
+		t.Errorf("aggregate cells sum %d, packets %d (dropped %d)", sum, res.Packets, windowDropped(res))
+	}
+}
+
+// windowDropped totals the dropped packets the windows report.
+func windowDropped(res api.GenerateResult) int {
+	total := 0
+	for _, w := range res.Windows {
+		total += w.Dropped
+	}
+	return total
+}
+
+// TestVersionPrefixIsStable pins the wire contract: every route
+// lives under the version the api package declares.
+func TestVersionPrefixIsStable(t *testing.T) {
+	if api.Version != "v1" {
+		t.Fatalf("api.Version = %q; bumping it breaks every client — do it deliberately and update this test", api.Version)
+	}
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + fmt.Sprintf("/%s/catalog", api.Version))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("versioned catalog route status = %d", resp.StatusCode)
+	}
+}
+
+// TestOversizedBodyIs413: the body cap answers with the status code
+// clients branch on, not a generic 400.
+func TestOversizedBodyIs413(t *testing.T) {
+	srv := newTestServer(t)
+	big := strings.Repeat("x", 9<<20)
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+}

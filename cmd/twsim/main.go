@@ -1,46 +1,50 @@
 // Command twsim runs network scenario simulations from the netsim
 // catalog and shows the traffic matrices they produce, window by
 // window, with the pattern classifiers' reading of each window — the
-// analyst's workflow the game trains students for. Generation runs
-// on the concurrent scenario engine (-workers), scales to larger
-// networks (-hosts) and volumes (-scale), and can export any window
-// as a learning module, turning live traffic into lesson content.
+// analyst's workflow the game trains students for. It is a thin
+// client of the internal/api façade: one typed GenerateRequest runs
+// the whole pipeline (concurrent generation, sparse windowing,
+// classification), and twsim only renders the result. The same
+// request served over HTTP is cmd/twserve; the CLI and the server
+// are the same API call.
+//
 // Beyond the catalog, -spec runs arbitrary scenario mixtures built
 // with the composition algebra — an inline expression like
 //
 //	twsim -spec 'overlay(background, sequence(scan@10s, ddos))'
 //
 // or a file holding one — and the aggregate block adds the mixture
-// classifier's attempt to disentangle the layers.
-// The whole-run aggregate readings fold the trace into a CSR and
-// classify it through the matrix.Matrix accessor, reporting the
-// sparse-path timings — the aggregate analysis never materializes an
-// n² matrix (the per-window view still renders dense matrices, which
-// is inherent to drawing them).
+// classifier's attempt to disentangle the layers. -json emits the
+// complete result as machine-readable JSON (the api wire form).
+// Interrupting a long run (Ctrl-C) cancels the request context,
+// which aborts the sharded generation workers mid-run.
 //
 // Run with -list to see the scenario catalog.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"runtime"
+	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/matrix"
-	"repro/internal/netsim"
-	"repro/internal/patterns"
 	"repro/internal/render"
 	"repro/internal/term"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "twsim:", err)
 		os.Exit(1)
 	}
@@ -48,8 +52,9 @@ func main() {
 
 // run is the testable entry point: it parses args with a private
 // FlagSet and writes all output to stdout, so golden tests can drive
-// the full command without forking a process.
-func run(args []string, stdout io.Writer) error {
+// the full command without forking a process. The context is the
+// request's lifetime — main wires it to Ctrl-C.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("twsim", flag.ContinueOnError)
 	// Parse errors are reported once by the caller (to stderr in
 	// production); only an explicit -h prints usage, to stdout.
@@ -65,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 	hosts := fs.Int("hosts", 0, "network size (≤10 = the paper's standard 10-host network)")
 	window := fs.Float64("window", 10, "aggregation window in seconds")
 	noRender := fs.Bool("norender", false, "skip per-window matrix rendering (throughput runs)")
+	jsonOut := fs.Bool("json", false, "emit the full result as JSON (the api wire form) instead of text")
 	exportPath := fs.String("export", "", "export the busiest window as a module JSON file")
 	plain := fs.Bool("plain", false, "disable ANSI colors")
 	if err := fs.Parse(args); err != nil {
@@ -81,22 +87,20 @@ func run(args []string, stdout io.Writer) error {
 		term.SetEnabled(false)
 	}
 
+	svc := api.New()
 	if *list {
-		return listCatalog(stdout)
+		return listCatalog(svc, stdout)
 	}
 
-	var s netsim.Scenario
+	// Spec-file resolution stays in the front-end: the service never
+	// reads the filesystem.
+	requested := *scenario
 	if *spec != "" {
-		var err error
-		if s, err = netsim.LoadSpec(*spec, os.ReadFile); err != nil {
+		canonical, err := api.ResolveSpecArg(*spec, os.ReadFile)
+		if err != nil {
 			return err
 		}
-	} else {
-		var ok bool
-		if s, ok = netsim.LookupScenario(*scenario); !ok {
-			return fmt.Errorf("unknown scenario %q; available: %s (or compose one with -spec)",
-				*scenario, strings.Join(catalogNames(), ", "))
-		}
+		requested = canonical
 	}
 	if *duration <= 0 {
 		return fmt.Errorf("duration must be positive, got %g", *duration)
@@ -107,183 +111,144 @@ func run(args []string, stdout io.Writer) error {
 	if *scale < 1 {
 		return fmt.Errorf("scale must be ≥ 1, got %d", *scale)
 	}
-	net := netsim.ScaledNetwork(*hosts)
-	zones, err := net.Zones()
+	if *window <= 0 {
+		return fmt.Errorf("window length must be positive, got %g", *window)
+	}
+
+	res, err := svc.Generate(ctx, api.NewGenerateRequest(requested,
+		api.WithSeed(*seed),
+		api.WithHosts(*hosts),
+		api.WithWorkers(*workers),
+		api.WithParams(*duration, *rate, *scale),
+		api.WithWindow(*window),
+	))
 	if err != nil {
 		return err
 	}
-	p := netsim.Params{Duration: *duration, Rate: *rate, Scale: *scale}
 
-	start := time.Now()
-	trace, err := netsim.GenerateTrace(s, net, *seed, *workers, p)
-	if err != nil {
+	if *jsonOut {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else if err := printResult(stdout, res, *noRender); err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
 
+	if *exportPath != "" {
+		if w := busiestWindow(res); w != nil {
+			m := api.WindowModule(res, w, "twsim")
+			data, err := core.EncodeModule(m)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*exportPath, data, 0o644); err != nil {
+				return err
+			}
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "\nexported busiest window as %s\n", *exportPath)
+			}
+		}
+	}
+	return nil
+}
+
+// printResult renders a generate result as the analyst's text view.
+func printResult(stdout io.Writer, res *api.GenerateResult, noRender bool) error {
 	fmt.Fprintf(stdout, "scenario %s on %d hosts: %d events, %d packets over %.1fs\n",
-		s.Name(), net.Len(), len(trace), trace.TotalPackets(), *duration)
-	nworkers := *workers
-	if nworkers <= 0 {
-		nworkers = runtime.NumCPU()
-	}
+		res.Scenario, res.Hosts, res.Events, res.Packets, res.Duration)
 	fmt.Fprintf(stdout, "generated in %v (%.0f events/sec, workers=%d)\n",
-		elapsed.Round(time.Microsecond),
-		float64(len(trace))/elapsed.Seconds(), nworkers)
-	fmt.Fprintf(stdout, "expected shape: %s\n", s.Shape())
-	if sched, ok := s.(netsim.Scheduler); ok {
+		res.Timings.Generate.Round(time.Microsecond),
+		float64(res.Events)/res.Timings.Generate.Seconds(), res.Workers)
+	fmt.Fprintf(stdout, "expected shape: %s\n", res.Shape)
+	if len(res.Schedule) > 0 {
 		fmt.Fprintln(stdout, "ground truth schedule:")
-		for _, ph := range sched.Schedule(p) {
+		for _, ph := range res.Schedule {
 			fmt.Fprintf(stdout, "  [%5.1fs,%5.1fs) %s\n", ph.Start, ph.End, ph.Label)
 		}
 	}
 
-	// The per-window view runs on the single-pass sparse window
-	// engine: the trace is folded once into per-window CSRs, and a
-	// window densifies only when its matrix is actually drawn.
-	windows, err := trace.WindowsCSR(net, *window, *duration)
-	if err != nil {
-		return err
+	// The zone color grid is an O(n²) dense build; derive it once,
+	// and only when windows will actually be drawn.
+	var colors *matrix.Dense
+	if !noRender && len(res.Windows) > 0 {
+		colors = res.Zones.ColorMatrix()
 	}
-	roles, rolesErr := patterns.AssignDDoSRoles(zones)
-
-	var busiest *matrix.CSR
-	busiestSum := -1
-	for _, w := range windows {
-		fmt.Fprintf(stdout, "\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Matrix.Sum())
+	for i := range res.Windows {
+		w := &res.Windows[i]
+		fmt.Fprintf(stdout, "\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Packets)
 		if w.Dropped > 0 {
 			fmt.Fprintf(stdout, "   (%d packets dropped: events name hosts outside the axis)\n", w.Dropped)
 		}
-		if !*noRender {
+		if !noRender {
 			fb, err := render.Matrix2D(w.Matrix.ToDense(), render.Matrix2DOptions{
-				Labels: net.Labels(),
-				Colors: zones.ColorMatrix(),
+				Labels: res.Labels,
+				Colors: colors,
 			})
 			if err != nil {
 				return err
 			}
 			fmt.Fprint(stdout, fb.ANSI())
 		}
-		if w.Matrix.NNZ() == 0 {
-			continue
+		if w.AttackStage != nil {
+			fmt.Fprintf(stdout, "   attack-stage reading: %s (%.2f)\n", w.AttackStage.Label, w.AttackStage.Confidence)
 		}
-		stage, conf := patterns.ClassifyAttackStageOf(w.Matrix, zones)
-		fmt.Fprintf(stdout, "   attack-stage reading: %s (%.2f)\n", stage, conf)
-		if rolesErr == nil {
-			component, dconf := patterns.ClassifyDDoSOf(w.Matrix, roles)
-			fmt.Fprintf(stdout, "   ddos reading:         %s (%.2f)\n", component, dconf)
+		if w.DDoS != nil {
+			fmt.Fprintf(stdout, "   ddos reading:         %s (%.2f)\n", w.DDoS.Label, w.DDoS.Confidence)
 		}
-		if hubs := matrix.SupernodesOf(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
-			h := hubs[0]
+		if w.Hub != nil {
 			fmt.Fprintf(stdout, "   busiest hub:          %s (%s fan %d, %d packets)\n",
-				net.Labels()[h.Index], h.Direction, h.Fan, h.Packets)
-		}
-		if w.Matrix.Sum() > busiestSum {
-			busiestSum = w.Matrix.Sum()
-			busiest = w.Matrix
+				w.Hub.Host, w.Hub.Direction, w.Hub.Fan, w.Hub.Packets)
 		}
 	}
 
-	// The whole-run readings go through the sparse path: the trace
-	// already in hand folds into a CSR in one linear pass and is
-	// analyzed through the accessor interface — no second generation
-	// run, no dense n² materialization.
-	aggStart := time.Now()
-	csr, _ := trace.SparseMatrix(net)
-	aggElapsed := time.Since(aggStart)
-	analyzeStart := time.Now()
-	profile := matrix.ProfileOf(csr)
-	behavior, bconf := patterns.ClassifyBehaviorOf(csr, zones)
-	topology := patterns.ClassifyTopologyOf(csr, zones)
-	stage, sconf := patterns.ClassifyAttackStageOf(csr, zones)
-	mixture := patterns.ClassifyMixtureOf(csr, zones)
-	analyzeElapsed := time.Since(analyzeStart)
-
+	agg := res.Aggregate
 	fmt.Fprintln(stdout, "\n── aggregate readings (sparse CSR path)")
 	fmt.Fprintf(stdout, "   sparse timings: aggregate %v, profile+classify %v\n",
-		aggElapsed.Round(time.Microsecond), analyzeElapsed.Round(time.Microsecond))
-	density := 0.0
-	if profile.N > 0 {
-		density = 100 * float64(profile.NNZ) / (float64(profile.N) * float64(profile.N))
-	}
+		res.Timings.Aggregate.Round(time.Microsecond), res.Timings.Analyze.Round(time.Microsecond))
 	fmt.Fprintf(stdout, "   n=%d nnz=%d (density %.2f%%) packets=%d max-cell=%d\n",
-		profile.N, profile.NNZ, density, profile.Sum, profile.MaxEntry)
-	if behavior != patterns.BehaviorUnknown {
-		fmt.Fprintf(stdout, "   behavior:  %s (%.2f)\n", behavior, bconf)
+		agg.Profile.N, agg.Profile.NNZ, agg.Profile.DensityPct, agg.Profile.Packets, agg.Profile.MaxCell)
+	if agg.Behavior != nil {
+		fmt.Fprintf(stdout, "   behavior:  %s (%.2f)\n", agg.Behavior.Label, agg.Behavior.Confidence)
 	}
-	fmt.Fprintf(stdout, "   topology:  %s\n", topology)
-	fmt.Fprintf(stdout, "   attack:    %s (%.2f)\n", stage, sconf)
-	if len(mixture) > 0 {
-		parts := make([]string, len(mixture))
-		for i, c := range mixture {
-			parts[i] = fmt.Sprintf("%s (%.2f)", c.Label, c.Score)
+	fmt.Fprintf(stdout, "   topology:  %s\n", agg.Topology)
+	fmt.Fprintf(stdout, "   attack:    %s (%.2f)\n", agg.Attack.Label, agg.Attack.Confidence)
+	if len(agg.Mixture) > 0 {
+		parts := make([]string, len(agg.Mixture))
+		for i, c := range agg.Mixture {
+			parts[i] = fmt.Sprintf("%s (%.2f)", c.Label, c.Confidence)
 		}
 		fmt.Fprintf(stdout, "   mixture:   %s\n", strings.Join(parts, " + "))
 	}
-	if comp, ok := s.(netsim.Composite); ok {
-		names := make([]string, 0, len(comp.Components()))
-		for _, leaf := range netsim.Leaves(s) {
-			names = append(names, leaf.Name())
-		}
-		fmt.Fprintf(stdout, "   composed of: %s\n", strings.Join(names, " + "))
-	}
-
-	if *exportPath != "" && busiest != nil {
-		m := moduleFromMatrix(busiest.ToDense(), net, zones, s.Name())
-		data, err := core.EncodeModule(m)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*exportPath, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "\nexported busiest window as %s\n", *exportPath)
+	if len(res.ComposedOf) > 0 {
+		fmt.Fprintf(stdout, "   composed of: %s\n", strings.Join(res.ComposedOf, " + "))
 	}
 	return nil
 }
 
-// catalogNames returns the registered scenario names in catalog
-// order, for error messages pointing lost users at -list.
-func catalogNames() []string {
-	var names []string
-	for _, s := range netsim.Scenarios() {
-		names = append(names, s.Name())
+// busiestWindow picks the non-empty window with the most packets
+// (first wins ties), nil when every window is empty or there are
+// none — an all-quiet run must not export an all-zero module.
+func busiestWindow(res *api.GenerateResult) *api.WindowResult {
+	var busiest *api.WindowResult
+	sum := 0
+	for i := range res.Windows {
+		if res.Windows[i].Packets > sum {
+			sum = res.Windows[i].Packets
+			busiest = &res.Windows[i]
+		}
 	}
-	return names
+	return busiest
 }
 
 // listCatalog prints every registered scenario with its shape and
 // description.
-func listCatalog(stdout io.Writer) error {
+func listCatalog(svc *api.Service, stdout io.Writer) error {
 	fmt.Fprintln(stdout, "scenario catalog:")
-	for _, s := range netsim.Scenarios() {
-		fmt.Fprintf(stdout, "  %-12s %s\n", s.Name(), s.Description())
-		fmt.Fprintf(stdout, "  %-12s └ shape: %s\n", "", s.Shape())
+	for _, s := range svc.Catalog(context.Background()).Scenarios {
+		fmt.Fprintf(stdout, "  %-12s %s\n", s.Name, s.Description)
+		fmt.Fprintf(stdout, "  %-12s └ shape: %s\n", "", s.Shape)
 	}
 	return nil
-}
-
-// moduleFromMatrix wraps a captured traffic matrix as a learning
-// module (no question; an educator adds one in a text editor).
-func moduleFromMatrix(m *matrix.Dense, net *netsim.Network, zones patterns.Zones, scenario string) *core.Module {
-	clamped := m.Clone()
-	clamped.Apply(func(v int) int {
-		if v > core.MaxDisplayPackets {
-			return core.MaxDisplayPackets
-		}
-		return v
-	})
-	name := scenario
-	if name != "" {
-		name = strings.ToUpper(name[:1]) + name[1:]
-	}
-	return &core.Module{
-		Name:                "Captured " + name + " Traffic",
-		Size:                core.FormatSize(m.Rows()),
-		Author:              "twsim",
-		AxisLabels:          net.Labels(),
-		TrafficMatrix:       clamped.ToRows(),
-		TrafficMatrixColors: zones.ColorMatrix().ToRows(),
-		HasQuestion:         false,
-	}
 }

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
 	"regexp"
+	"repro/internal/api"
 	"strings"
 	"testing"
 )
@@ -61,7 +67,7 @@ func checkGolden(t *testing.T, name, out string) {
 
 func TestRunList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -82,7 +88,7 @@ func TestRunScanDeterministic(t *testing.T) {
 		"-scenario", "scan", "-seed", "1", "-duration", "4", "-window", "2",
 		"-workers", "1", "-plain", "-norender",
 	}
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -105,7 +111,7 @@ func TestRunSameOutputAnyWorkers(t *testing.T) {
 			"-scenario", "ddos", "-seed", "7", "-duration", "8", "-window", "4",
 			"-workers", workers, "-plain", "-norender", "-scale", "3",
 		}
-		if err := run(args, &buf); err != nil {
+		if err := run(context.Background(), args, &buf); err != nil {
 			t.Fatal(err)
 		}
 		out := normalize(buf.String())
@@ -127,7 +133,7 @@ func TestRunSpecComposed(t *testing.T) {
 		"-spec", "overlay(background, sequence(scan, ddos))",
 		"-seed", "42", "-workers", "1", "-plain", "-norender",
 	}
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -164,10 +170,10 @@ func TestRunSpecFromFile(t *testing.T) {
 	}
 	var inline, fromFile bytes.Buffer
 	base := []string{"-seed", "42", "-workers", "1", "-plain", "-norender"}
-	if err := run(append([]string{"-spec", "overlay(background, sequence(scan, ddos))"}, base...), &inline); err != nil {
+	if err := run(context.Background(), append([]string{"-spec", "overlay(background, sequence(scan, ddos))"}, base...), &inline); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append([]string{"-spec", path}, base...), &fromFile); err != nil {
+	if err := run(context.Background(), append([]string{"-spec", path}, base...), &fromFile); err != nil {
 		t.Fatal(err)
 	}
 	if normalize(inline.String()) != normalize(fromFile.String()) {
@@ -185,7 +191,7 @@ func TestRunSpecSameOutputAnyWorkers(t *testing.T) {
 			"-spec", "sequence(scan@4s, amplify(ddos, 2))", "-seed", "3",
 			"-duration", "12", "-window", "4", "-workers", workers, "-plain", "-norender",
 		}
-		if err := run(args, &buf); err != nil {
+		if err := run(context.Background(), args, &buf); err != nil {
 			t.Fatal(err)
 		}
 		out := normalize(buf.String())
@@ -202,7 +208,7 @@ func TestRunSpecSameOutputAnyWorkers(t *testing.T) {
 // in the message.
 func TestRunUnknownScenarioListsCatalog(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-scenario", "nope"}, &buf)
+	err := run(context.Background(), []string{"-scenario", "nope"}, &buf)
 	if err == nil {
 		t.Fatal("unknown scenario did not error")
 	}
@@ -231,7 +237,7 @@ func TestRunErrors(t *testing.T) {
 		{"bad flag", []string{"-definitely-not-a-flag"}},
 	} {
 		var buf bytes.Buffer
-		if err := run(tc.args, &buf); err == nil {
+		if err := run(context.Background(), tc.args, &buf); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -239,7 +245,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunHelpIsNotAnError(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-h"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-h"}, &buf); err != nil {
 		t.Fatalf("-h returned error: %v", err)
 	}
 	if !strings.Contains(buf.String(), "Usage of twsim") {
@@ -254,7 +260,7 @@ func TestRunExportWritesModule(t *testing.T) {
 		"-scenario", "ddos", "-seed", "2", "-duration", "4", "-window", "2",
 		"-workers", "1", "-plain", "-norender", "-export", path,
 	}
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -263,5 +269,84 @@ func TestRunExportWritesModule(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "Captured Ddos Traffic") {
 		t.Error("exported module missing expected name")
+	}
+}
+
+// TestRunJSONGolden pins the -json output: the api wire form of a
+// deterministic run, with the (nondeterministic) timing fields
+// zeroed before comparison.
+func TestRunJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-json", "-scenario", "scan", "-seed", "1", "-duration", "4", "-window", "2",
+		"-workers", "1", "-plain",
+	}
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var res api.GenerateResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"aggregate"`) || !strings.Contains(buf.String(), `"timings"`) ||
+		!strings.Contains(buf.String(), `"mixture"`) {
+		t.Error("-json output missing the aggregate block fields")
+	}
+	if res.Version != api.Version || res.Spec != "scan" || res.CacheHit {
+		t.Errorf("result header = %+v", res)
+	}
+	res.Timings = api.Timings{}
+	normalized, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "scan_json.golden", string(normalized))
+}
+
+// TestRunJSONMatchesTextRun: the JSON and text views describe the
+// same run — event and packet counts agree.
+func TestRunJSONMatchesTextRun(t *testing.T) {
+	base := []string{"-scenario", "scan", "-seed", "1", "-duration", "4", "-window", "2", "-workers", "1", "-plain"}
+	var jsonBuf, textBuf bytes.Buffer
+	if err := run(context.Background(), append([]string{"-json"}, base...), &jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append([]string{"-norender"}, base...), &textBuf); err != nil {
+		t.Fatal(err)
+	}
+	var res api.GenerateResult
+	if err := json.Unmarshal(jsonBuf.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("scenario scan on %d hosts: %d events, %d packets", res.Hosts, res.Events, res.Packets)
+	if !strings.Contains(textBuf.String(), want) {
+		t.Errorf("text view does not open with %q", want)
+	}
+}
+
+// TestRunCancelledContext: the CLI's request context (Ctrl-C in
+// main) aborts the run.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{"-scenario", "scan", "-plain", "-norender"}, &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunExportSkipsEmptyRun: a run whose windows hold no packets
+// must not export an all-zero module.
+func TestRunExportSkipsEmptyRun(t *testing.T) {
+	res := &api.GenerateResult{Windows: []api.WindowResult{
+		{Index: 0, Packets: 0}, {Index: 1, Packets: 0},
+	}}
+	if w := busiestWindow(res); w != nil {
+		t.Errorf("busiestWindow over empty windows = %+v, want nil", w)
+	}
+	res.Windows[1].Packets = 3
+	if w := busiestWindow(res); w == nil || w.Index != 1 {
+		t.Errorf("busiestWindow = %+v, want window 1", w)
 	}
 }

@@ -7,7 +7,10 @@
 // terminal/PPM renderer, the module pattern library with
 // classifiers, and a concurrent network scenario engine whose
 // eight-scenario catalog generates deterministic traffic in
-// parallel (internal/netsim).
+// parallel (internal/netsim). Every front-end reaches the pipeline
+// through the versioned internal/api façade — context-aware typed
+// requests with a canonical-spec result cache — served over HTTP by
+// cmd/twserve.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // dependency graph, and EXPERIMENTS.md for the paper-versus-measured

@@ -1,0 +1,48 @@
+package api
+
+import (
+	"context"
+	"testing"
+)
+
+// benchRequest is heavy enough that generation dominates: the
+// cold/hot pair below is the acceptance measurement that a cache hit
+// is far cheaper than a cold generation.
+func benchRequest() GenerateRequest {
+	return NewGenerateRequest("overlay(background, sequence(scan, ddos))",
+		WithSeed(42), WithHosts(200), WithParams(40, 8, 4), WithWindow(10))
+}
+
+// BenchmarkGenerateCold measures the uncached pipeline: a fresh
+// service (empty cache) per iteration.
+func BenchmarkGenerateCold(b *testing.B) {
+	req := benchRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svc := New()
+		if _, err := svc.Generate(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateCacheHit measures the classroom hot path: one
+// service, primed once, then repeated identical requests.
+func BenchmarkGenerateCacheHit(b *testing.B) {
+	svc := New()
+	req := benchRequest()
+	if _, err := svc.Generate(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Generate(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("hot request missed the cache")
+		}
+	}
+}

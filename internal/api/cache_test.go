@@ -1,0 +1,67 @@
+package api
+
+import "testing"
+
+func TestLRUCacheHitMissCounters(t *testing.T) {
+	c := newLRUCache(4)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put("a", 1)
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("get after put = %v, %v", v, ok)
+	}
+	c.get("b") // miss
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 0 || st.Len != 1 || st.Capacity != 4 {
+		t.Errorf("stats = %+v, want hits=1 misses=2 evictions=0 len=1 cap=4", st)
+	}
+}
+
+func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	// Touch "a" so "b" is the LRU entry when "c" arrives.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("new entry c missing")
+	}
+	if st := c.stats(); st.Evictions != 1 || st.Len != 2 {
+		t.Errorf("stats = %+v, want evictions=1 len=2", st)
+	}
+}
+
+func TestLRUCachePutRefreshesExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("a", 10) // refresh, not a new entry
+	c.put("c", 3)  // should evict b, the LRU
+	if v, ok := c.get("a"); !ok || v.(int) != 10 {
+		t.Errorf("refreshed entry = %v, %v; want 10", v, ok)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived; refresh of a did not update recency")
+	}
+}
+
+func TestLRUCacheZeroCapacityDisables(t *testing.T) {
+	c := newLRUCache(0)
+	c.put("a", 1)
+	if _, ok := c.get("a"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+	if st := c.stats(); st.Len != 0 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want len=0 misses=1", st)
+	}
+}

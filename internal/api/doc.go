@@ -1,0 +1,36 @@
+// Package api is the versioned programmatic façade over the whole
+// traffic-matrix pipeline: every front-end — the twsim and twmodule
+// CLIs, the twserve HTTP server, a future game client — goes through
+// it instead of hand-wiring netsim→matrix→patterns→bridge.
+//
+// The surface is a small set of typed request/response pairs on a
+// Service value:
+//
+//	svc := api.New(api.WithCacheCapacity(128))
+//	res, err := svc.Generate(ctx, api.NewGenerateRequest("overlay(background, scan)",
+//	        api.WithSeed(42), api.WithWindow(10)))
+//
+// Four properties define the layer:
+//
+//   - Context-aware: every call takes a context.Context, and
+//     cancellation is threaded all the way into the sharded netsim
+//     chunk workers, the matrix shard merge, and the window
+//     compaction loops — a caller hanging up aborts the work, not
+//     just the wait.
+//
+//   - Cached: generation is deterministic (same spec, seed, and
+//     parameters ⇒ same traffic, for any worker count), so results
+//     are memoized in a bounded LRU keyed by the canonical spec
+//     string (netsim.SpecString) plus normalized parameters. The
+//     classroom hot path — thirty students requesting the same
+//     scenario — hits the cache after the first generation.
+//     Cancelled or failed runs never enter the cache.
+//
+//   - Observable: a concurrent session registry tracks in-flight
+//     requests (Sessions, CancelSession), and CacheStats exposes
+//     hit/miss/eviction counters.
+//
+//   - Versioned: Version names the wire contract; twserve mounts
+//     every route under it ("/v1/generate", …), and results carry it
+//     so stored documents are self-describing.
+package api

@@ -1,0 +1,106 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrSessionCancelled marks a run aborted by an operator through
+// CancelSession — distinct from context.Canceled (the caller's own
+// hangup) so that coalesced waiters do not re-elect a leader and
+// silently restart work an operator just killed.
+var ErrSessionCancelled = errors.New("api: session cancelled by operator")
+
+// SessionInfo describes one in-flight request: what kind of work it
+// is, the canonical key it runs under, and when it started. Served
+// by twserve's /v1/sessions.
+type SessionInfo struct {
+	ID      int64     `json:"id"`
+	Kind    string    `json:"kind"`
+	Key     string    `json:"key"`
+	Started time.Time `json:"started"`
+}
+
+// session pairs the public info with the cancel handle
+// CancelSession pulls.
+type session struct {
+	info   SessionInfo
+	cancel context.CancelCauseFunc
+}
+
+// sessionRegistry tracks in-flight work. Every service call passes
+// through begin/end, so a snapshot at any moment names exactly the
+// requests currently holding worker pools.
+type sessionRegistry struct {
+	mu     sync.Mutex
+	nextID int64
+	active map[int64]*session
+}
+
+func newSessionRegistry() *sessionRegistry {
+	return &sessionRegistry{active: make(map[int64]*session)}
+}
+
+// begin registers an in-flight request and returns a context derived
+// from ctx whose cancellation is additionally reachable through
+// cancelByID — the hook that lets an operator abort a runaway
+// generation.
+func (r *sessionRegistry) begin(ctx context.Context, kind, key string) (context.Context, *session) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	s := &session{
+		info:   SessionInfo{ID: r.nextID, Kind: kind, Key: key, Started: time.Now()},
+		cancel: cancel,
+	}
+	r.active[s.info.ID] = s
+	return ctx, s
+}
+
+// end removes the session and releases its context resources.
+func (r *sessionRegistry) end(s *session) {
+	r.mu.Lock()
+	delete(r.active, s.info.ID)
+	r.mu.Unlock()
+	s.cancel(nil)
+}
+
+// snapshot returns the in-flight sessions ordered by ID.
+func (r *sessionRegistry) snapshot() []SessionInfo {
+	r.mu.Lock()
+	out := make([]SessionInfo, 0, len(r.active))
+	for _, s := range r.active {
+		out = append(out, s.info)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// cancelByID cancels the identified session's context with
+// ErrSessionCancelled as the cause, reporting whether it was in
+// flight.
+func (r *sessionRegistry) cancelByID(id int64) bool {
+	r.mu.Lock()
+	s, ok := r.active[id]
+	r.mu.Unlock()
+	if ok {
+		s.cancel(ErrSessionCancelled)
+	}
+	return ok
+}
+
+// sessionErr rewrites a cancellation that an operator caused into
+// ErrSessionCancelled, so callers (and coalesced waiters) can tell
+// "the operator killed this run" from "my own caller hung up". Any
+// other error passes through.
+func sessionErr(ctx context.Context, err error) error {
+	if err != nil && errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), ErrSessionCancelled) {
+		return ErrSessionCancelled
+	}
+	return err
+}

@@ -1,0 +1,493 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/modules"
+	"repro/internal/netsim"
+	"repro/internal/patterns"
+)
+
+// DefaultCacheCapacity bounds the result cache when no option
+// overrides it.
+const DefaultCacheCapacity = 64
+
+// Service is the façade instance: one per process (twserve) or per
+// command invocation (the CLIs). All methods are safe for concurrent
+// use.
+type Service struct {
+	cacheCap int
+	workers  int
+	cache    *lruCache
+	sessions *sessionRegistry
+	flights  flightGroup
+}
+
+// Option configures a Service under construction.
+type Option func(*Service)
+
+// WithCacheCapacity bounds the result cache to n entries; n ≤ 0
+// disables caching.
+func WithCacheCapacity(n int) Option { return func(s *Service) { s.cacheCap = n } }
+
+// WithDefaultWorkers sets the worker count used when a request
+// leaves Workers at 0 (which otherwise selects all CPUs).
+func WithDefaultWorkers(n int) Option { return func(s *Service) { s.workers = n } }
+
+// New builds a Service with the given options.
+func New(opts ...Option) *Service {
+	s := &Service{cacheCap: DefaultCacheCapacity}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.cache = newLRUCache(s.cacheCap)
+	s.sessions = newSessionRegistry()
+	return s
+}
+
+// CacheStats snapshots the result cache counters.
+func (svc *Service) CacheStats() CacheStats { return svc.cache.stats() }
+
+// Sessions snapshots the in-flight requests, oldest first.
+func (svc *Service) Sessions() []SessionInfo { return svc.sessions.snapshot() }
+
+// CancelSession aborts an in-flight request by ID, reporting whether
+// it was found. The cancelled call returns context.Canceled to its
+// own caller; nothing partial is cached.
+func (svc *Service) CancelSession(id int64) bool { return svc.sessions.cancelByID(id) }
+
+// resolveWorkers applies the request → service → all-CPUs default
+// chain.
+func (svc *Service) resolveWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if svc.workers > 0 {
+		return svc.workers
+	}
+	return runtime.NumCPU()
+}
+
+// Generate runs the full pipeline for the request: deterministic
+// event generation on the worker pool, the optional per-window view,
+// and the aggregate sparse-path analysis. Repeated requests for the
+// same canonical spec and parameters are served from the LRU cache,
+// and concurrent identical cold requests coalesce onto one run.
+// Cancelling ctx aborts the sharded generation mid-run; a cancelled
+// or failed run never enters the cache.
+func (svc *Service) Generate(ctx context.Context, req GenerateRequest) (*GenerateResult, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	scn, err := resolveSpec(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	canonical := netsim.SpecString(scn)
+	net := netsim.ScaledNetwork(req.Hosts)
+	key := req.cacheKey(canonical, net.Len())
+	if v, ok := svc.cache.get(key); ok {
+		return finishResult(v.(*GenerateResult), true, req.IncludeMatrices), nil
+	}
+	res, shared, err := svc.flights.do(ctx, key, func() (any, error) {
+		fctx, sess := svc.sessions.begin(ctx, "generate", key)
+		defer svc.sessions.end(sess)
+		r, err := svc.generate(fctx, scn, canonical, net, req)
+		if err != nil {
+			return nil, sessionErr(fctx, err)
+		}
+		svc.cache.put(key, r)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishResult(res.(*GenerateResult), shared, req.IncludeMatrices), nil
+}
+
+// finishResult builds the per-call view of a (possibly shared)
+// result: the hit marker and the opt-in dense cell grids, derived on
+// demand so the cached value itself stays encoding-neutral — two
+// requests differing only in IncludeMatrices share one entry and
+// each still gets exactly what it asked for.
+func finishResult(res *GenerateResult, hit, includeMatrices bool) *GenerateResult {
+	out := *res
+	out.CacheHit = hit
+	if includeMatrices {
+		out.Cells = out.AggregateCSR.ToDense().ToRows()
+		ws := make([]WindowResult, len(res.Windows))
+		copy(ws, res.Windows)
+		for i := range ws {
+			ws[i].Cells = ws[i].Matrix.ToDense().ToRows()
+		}
+		out.Windows = ws
+	}
+	return &out
+}
+
+// generate is the cold path behind Generate.
+func (svc *Service) generate(ctx context.Context, scn netsim.Scenario, canonical string, net *netsim.Network, req GenerateRequest) (*GenerateResult, error) {
+	zones, err := net.Zones()
+	if err != nil {
+		return nil, err
+	}
+	workers := svc.resolveWorkers(req.Workers)
+	p := req.params().Normalized()
+
+	genStart := time.Now()
+	trace, err := netsim.GenerateTraceContext(ctx, scn, net, req.Seed, workers, p)
+	if err != nil {
+		return nil, err
+	}
+	genElapsed := time.Since(genStart)
+
+	res := &GenerateResult{
+		Version:  Version,
+		Spec:     canonical,
+		Scenario: scn.Name(),
+		Shape:    scn.Shape(),
+		Hosts:    net.Len(),
+		Seed:     req.Seed,
+		Workers:  workers,
+		Duration: p.Duration,
+		Events:   len(trace),
+		Packets:  trace.TotalPackets(),
+		Labels:   net.Labels(),
+		Network:  net,
+		Zones:    zones,
+	}
+	if sched, ok := scn.(netsim.Scheduler); ok {
+		for _, ph := range sched.Schedule(p) {
+			res.Schedule = append(res.Schedule, Phase{Label: ph.Label, Start: ph.Start, End: ph.End})
+		}
+	}
+	if _, ok := scn.(netsim.Composite); ok {
+		for _, leaf := range netsim.Leaves(scn) {
+			res.ComposedOf = append(res.ComposedOf, leaf.Name())
+		}
+	}
+
+	if req.Window > 0 {
+		windows, err := trace.WindowsCSRContext(ctx, net, req.Window, p.Duration)
+		if err != nil {
+			return nil, err
+		}
+		roles, rolesErr := patterns.AssignDDoSRoles(zones)
+		res.Windows = make([]WindowResult, 0, len(windows))
+		for k, w := range windows {
+			wr := WindowResult{
+				Index: k, Start: w.Start, End: w.End,
+				Events: w.Events, Packets: w.Matrix.Sum(), NNZ: w.Matrix.NNZ(),
+				Dropped: w.Dropped, Matrix: w.Matrix,
+			}
+			if wr.NNZ > 0 {
+				stage, conf := patterns.ClassifyAttackStageOf(w.Matrix, zones)
+				wr.AttackStage = &Reading{Label: stage.String(), Confidence: conf}
+				if rolesErr == nil {
+					comp, dconf := patterns.ClassifyDDoSOf(w.Matrix, roles)
+					wr.DDoS = &Reading{Label: comp.String(), Confidence: dconf}
+				}
+				if hubs := matrix.SupernodesOf(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
+					h := hubs[0]
+					wr.Hub = &Hub{Host: res.Labels[h.Index], Direction: h.Direction, Fan: h.Fan, Packets: h.Packets}
+				}
+			}
+			res.Windows = append(res.Windows, wr)
+		}
+	}
+
+	// The whole-run readings go through the sparse path: one linear
+	// fold into a CSR, analyzed through the accessor interface — no
+	// dense n² materialization.
+	aggStart := time.Now()
+	csr, _ := trace.SparseMatrix(net)
+	aggElapsed := time.Since(aggStart)
+	analyzeStart := time.Now()
+	res.Aggregate = analyzeMatrix(csr, zones)
+	analyzeElapsed := time.Since(analyzeStart)
+	res.AggregateCSR = csr
+	res.Timings = Timings{Generate: genElapsed, Aggregate: aggElapsed, Analyze: analyzeElapsed}
+	return res, nil
+}
+
+// analyzeMatrix runs every classifier over a matrix through the
+// read-only accessor interface.
+func analyzeMatrix(m matrix.Matrix, zones patterns.Zones) Aggregate {
+	agg := Aggregate{Profile: profileResult(matrix.ProfileOf(m))}
+	if b, conf := patterns.ClassifyBehaviorOf(m, zones); b != patterns.BehaviorUnknown {
+		agg.Behavior = &Reading{Label: b.String(), Confidence: conf}
+	}
+	agg.Topology = patterns.ClassifyTopologyOf(m, zones).String()
+	stage, sconf := patterns.ClassifyAttackStageOf(m, zones)
+	agg.Attack = Reading{Label: stage.String(), Confidence: sconf}
+	for _, c := range patterns.ClassifyMixtureOf(m, zones) {
+		agg.Mixture = append(agg.Mixture, Reading{Label: c.Label, Confidence: c.Score})
+	}
+	return agg
+}
+
+// supernodeHubs converts the supernode list to wire form.
+func supernodeHubs(m matrix.Matrix, labels []string) []Hub {
+	var out []Hub
+	for _, h := range matrix.SupernodesOf(m, patterns.SupernodeFanThreshold) {
+		out = append(out, Hub{Host: labels[h.Index], Direction: h.Direction, Fan: h.Fan, Packets: h.Packets})
+	}
+	return out
+}
+
+// Analyze classifies traffic: the Spec path generates (or re-serves
+// from cache) a scenario run and reads its aggregate; the Matrix
+// path classifies a posted matrix directly.
+func (svc *Service) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeResult, error) {
+	hasSpec := strings.TrimSpace(req.Spec) != ""
+	hasMatrix := len(req.Matrix) > 0
+	if hasSpec == hasMatrix {
+		return nil, fmt.Errorf("%w: exactly one of spec or matrix must be set", ErrInvalidRequest)
+	}
+	if hasSpec {
+		gres, err := svc.Generate(ctx, GenerateRequest{
+			Spec: req.Spec, Hosts: req.Hosts, Seed: req.Seed, Workers: req.Workers,
+			Duration: req.Duration, Rate: req.Rate, Scale: req.Scale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeResult{
+			Version: Version, Source: "spec", Spec: gres.Spec, Hosts: gres.Hosts,
+			Aggregate:  gres.Aggregate,
+			Supernodes: supernodeHubs(gres.AggregateCSR, gres.Labels),
+			CacheHit:   gres.CacheHit,
+		}, nil
+	}
+
+	ctx, sess := svc.sessions.begin(ctx, "analyze", fmt.Sprintf("matrix %dx%d", len(req.Matrix), len(req.Matrix)))
+	defer svc.sessions.end(sess)
+	if len(req.Matrix) > MaxHosts {
+		return nil, fmt.Errorf("%w: matrix size %d exceeds the %d limit", ErrInvalidRequest, len(req.Matrix), MaxHosts)
+	}
+	for i, row := range req.Matrix {
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("%w: matrix cell [%d][%d] = %d; packet counts must not be negative", ErrInvalidRequest, i, j, v)
+			}
+		}
+	}
+	dense, err := matrix.FromRows(req.Matrix)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+	}
+	if dense.Rows() != dense.Cols() {
+		return nil, fmt.Errorf("%w: matrix must be square, got %dx%d", ErrInvalidRequest, dense.Rows(), dense.Cols())
+	}
+	zones, err := zonesFor(dense.Rows(), req.BlueEnd, req.GreyEnd)
+	if err != nil {
+		return nil, err
+	}
+	labels := matrixLabels(dense.Rows())
+	res := &AnalyzeResult{
+		Version: Version, Source: "matrix", Hosts: dense.Rows(),
+		Aggregate:  analyzeMatrix(dense, zones),
+		Supernodes: supernodeHubs(dense, labels),
+	}
+	// The classification is synchronous and quick, so cancellation
+	// is honored at call granularity: a cancelled session (or
+	// caller) gets the context error, not a result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// zonesFor places the blue→grey→red boundaries for a posted matrix:
+// explicit boundaries when given, the paper's standard 10-host
+// layout at n=10, and the scaled role mix proportions otherwise.
+func zonesFor(n, blueEnd, greyEnd int) (patterns.Zones, error) {
+	if blueEnd != 0 || greyEnd != 0 {
+		z := patterns.Zones{N: n, BlueEnd: blueEnd, GreyEnd: greyEnd}
+		if blueEnd < 0 || greyEnd < blueEnd || greyEnd > n {
+			return patterns.Zones{}, fmt.Errorf("%w: zone split blue_end=%d grey_end=%d invalid for n=%d",
+				ErrInvalidRequest, blueEnd, greyEnd, n)
+		}
+		return z, nil
+	}
+	if n == 10 {
+		return patterns.Zones{N: 10, BlueEnd: 4, GreyEnd: 6}, nil
+	}
+	red := n * 3 / 20
+	if red < 1 {
+		red = 1
+	}
+	grey := n * 3 / 20
+	if grey < 1 {
+		grey = 1
+	}
+	blue := n - red - grey
+	if blue < 1 {
+		blue = 1
+	}
+	// Tiny matrices cannot hold all three zones at the floor sizes;
+	// give blue priority and shrink grey so the boundaries stay
+	// within the axis (a 1×1 matrix is all blue).
+	if blue > n {
+		blue = n
+	}
+	if blue+grey > n {
+		grey = n - blue
+	}
+	return patterns.Zones{N: n, BlueEnd: blue, GreyEnd: blue + grey}, nil
+}
+
+// matrixLabels names the axis of a posted matrix: the paper's
+// standard labels at n=10, positional names otherwise.
+func matrixLabels(n int) []string {
+	if n == 10 {
+		return netsim.StandardNetwork().Labels()
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("H%d", i)
+	}
+	return out
+}
+
+// Module synthesizes a playable learning module: from a scenario run
+// (Spec) via the bridge, or from a paper figure panel (Pattern).
+// Spec-path modules are cached and coalesced like Generate results;
+// returned modules are shared and must be treated as immutable.
+func (svc *Service) Module(ctx context.Context, req ModuleRequest) (*core.Module, error) {
+	hasSpec := strings.TrimSpace(req.Spec) != ""
+	hasPattern := strings.TrimSpace(req.Pattern) != ""
+	if hasSpec == hasPattern {
+		return nil, fmt.Errorf("%w: exactly one of spec or pattern must be set", ErrInvalidRequest)
+	}
+	if hasPattern {
+		entry, ok := patterns.Lookup(req.Pattern)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown pattern %q (see the catalog's patterns list)", ErrInvalidRequest, req.Pattern)
+		}
+		return modules.FromEntry(entry)
+	}
+	// Reuse the generate-request field validation for the shared
+	// scenario parameters.
+	gr := GenerateRequest{Spec: req.Spec, Hosts: req.Hosts, Duration: req.Duration, Rate: req.Rate, Scale: req.Scale}
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	scn, err := resolveSpec(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	net := netsim.ScaledNetwork(req.Hosts)
+	p := netsim.Params{Duration: req.Duration, Rate: req.Rate, Scale: req.Scale}
+	key := paramsKey("module", netsim.SpecString(scn), net.Len(), req.Seed, p)
+	if v, ok := svc.cache.get(key); ok {
+		return v.(*core.Module), nil
+	}
+	m, _, err := svc.flights.do(ctx, key, func() (any, error) {
+		fctx, sess := svc.sessions.begin(ctx, "module", key)
+		defer svc.sessions.end(sess)
+		m, err := bridge.AggregateModuleContext(fctx, scn, net, req.Seed, svc.resolveWorkers(0), p)
+		if err != nil {
+			return nil, sessionErr(fctx, err)
+		}
+		svc.cache.put(key, m)
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.(*core.Module), nil
+}
+
+// Campaign synthesizes a whole course from a scenario: overview
+// lesson plus window-by-window timeline. Campaigns are cached and
+// coalesced like Generate results; returned campaigns are shared
+// and must be treated as immutable.
+func (svc *Service) Campaign(ctx context.Context, req CampaignRequest) (*bridge.Campaign, error) {
+	if req.Window <= 0 {
+		return nil, fmt.Errorf("%w: campaign window must be positive, got %g", ErrInvalidRequest, req.Window)
+	}
+	gr := GenerateRequest{Spec: req.Spec, Hosts: req.Hosts, Duration: req.Duration, Rate: req.Rate, Scale: req.Scale, Window: req.Window}
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	scn, err := resolveSpec(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	net := netsim.ScaledNetwork(req.Hosts)
+	p := netsim.Params{Duration: req.Duration, Rate: req.Rate, Scale: req.Scale}
+	key := paramsKey("campaign", netsim.SpecString(scn), net.Len(), req.Seed, p) +
+		fmt.Sprintf("|win=%g", req.Window)
+	if v, ok := svc.cache.get(key); ok {
+		return v.(*bridge.Campaign), nil
+	}
+	c, _, err := svc.flights.do(ctx, key, func() (any, error) {
+		fctx, sess := svc.sessions.begin(ctx, "campaign", key)
+		defer svc.sessions.end(sess)
+		c, err := bridge.CampaignFromScenarioContext(fctx, scn, net, req.Seed, svc.resolveWorkers(0), p, req.Window)
+		if err != nil {
+			return nil, sessionErr(fctx, err)
+		}
+		svc.cache.put(key, c)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.(*bridge.Campaign), nil
+}
+
+// Catalog lists everything the service can produce. The context is
+// accepted for interface uniformity; the listing is immediate.
+func (svc *Service) Catalog(context.Context) *CatalogResult {
+	out := &CatalogResult{Version: Version}
+	for _, s := range netsim.Scenarios() {
+		_, composite := s.(netsim.Composite)
+		out.Scenarios = append(out.Scenarios, ScenarioInfo{
+			Name: s.Name(), Description: s.Description(), Shape: s.Shape(), Composite: composite,
+		})
+	}
+	for _, f := range patterns.Families() {
+		for _, e := range patterns.ByFamily(f) {
+			out.Patterns = append(out.Patterns, PatternInfo{
+				ID: e.ID, Family: string(e.Family), Figure: e.Figure, Title: e.Title,
+			})
+		}
+	}
+	return out
+}
+
+// WindowModule renders one window of a generated result as an
+// editable learning module (no question; an educator adds one): the
+// twsim -export path, kept next to the result types so front-ends
+// need no matrix/patterns wiring of their own.
+func WindowModule(res *GenerateResult, w *WindowResult, author string) *core.Module {
+	clamped := w.Matrix.ToDense()
+	clamped.Apply(func(v int) int {
+		if v > core.MaxDisplayPackets {
+			return core.MaxDisplayPackets
+		}
+		return v
+	})
+	name := res.Scenario
+	if name != "" {
+		name = strings.ToUpper(name[:1]) + name[1:]
+	}
+	return &core.Module{
+		Name:                "Captured " + name + " Traffic",
+		Size:                core.FormatSize(res.Hosts),
+		Author:              author,
+		AxisLabels:          res.Labels,
+		TrafficMatrix:       clamped.ToRows(),
+		TrafficMatrixColors: res.Zones.ColorMatrix().ToRows(),
+		HasQuestion:         false,
+	}
+}

@@ -24,6 +24,7 @@
 package bridge
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,11 +51,20 @@ func ModuleFromScenario(s netsim.Scenario, net *netsim.Network, seed int64) (*co
 // AggregateModule is ModuleFromScenario with explicit scenario
 // parameters.
 func AggregateModule(s netsim.Scenario, net *netsim.Network, seed int64, p netsim.Params) (*core.Module, error) {
+	return AggregateModuleContext(context.Background(), s, net, seed, 0, p)
+}
+
+// AggregateModuleContext is AggregateModule with cancellation and an
+// explicit worker count (≤ 0 selects all CPUs): the underlying
+// generation aborts when ctx is cancelled, so a served authoring
+// request (the api layer's /v1/module) stops working the moment its
+// caller hangs up.
+func AggregateModuleContext(ctx context.Context, s netsim.Scenario, net *netsim.Network, seed int64, workers int, p netsim.Params) (*core.Module, error) {
 	zones, err := checkInputs(s, net)
 	if err != nil {
 		return nil, err
 	}
-	csr, _, err := netsim.GenerateCSR(s, net, seed, 0, p)
+	csr, _, err := netsim.GenerateCSRContext(ctx, s, net, seed, workers, p)
 	if err != nil {
 		return nil, fmt.Errorf("bridge: generate %s: %w", s.Name(), err)
 	}

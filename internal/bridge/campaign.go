@@ -1,6 +1,7 @@
 package bridge
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -39,6 +40,13 @@ type Campaign struct {
 // phase when it publishes a schedule, the window's supernode when
 // one stands out, the catalog shape otherwise.
 func CampaignFromScenario(s netsim.Scenario, net *netsim.Network, seed int64, p netsim.Params, windowLen float64) (*Campaign, error) {
+	return CampaignFromScenarioContext(context.Background(), s, net, seed, 0, p, windowLen)
+}
+
+// CampaignFromScenarioContext is CampaignFromScenario with
+// cancellation threaded through the generation and windowing stages
+// and an explicit worker count (≤ 0 selects all CPUs).
+func CampaignFromScenarioContext(ctx context.Context, s netsim.Scenario, net *netsim.Network, seed int64, workers int, p netsim.Params, windowLen float64) (*Campaign, error) {
 	zones, err := checkInputs(s, net)
 	if err != nil {
 		return nil, err
@@ -46,7 +54,7 @@ func CampaignFromScenario(s netsim.Scenario, net *netsim.Network, seed int64, p 
 	if windowLen <= 0 {
 		return nil, fmt.Errorf("bridge: window length must be positive, got %g", windowLen)
 	}
-	trace, err := netsim.GenerateTrace(s, net, seed, 0, p)
+	trace, err := netsim.GenerateTraceContext(ctx, s, net, seed, workers, p)
 	if err != nil {
 		return nil, fmt.Errorf("bridge: generate %s: %w", s.Name(), err)
 	}
@@ -60,7 +68,7 @@ func CampaignFromScenario(s netsim.Scenario, net *netsim.Network, seed int64, p 
 	}
 
 	// Timeline: one module per non-empty window.
-	windows, err := trace.WindowsCSR(net, windowLen, 0)
+	windows, err := trace.WindowsCSRContext(ctx, net, windowLen, 0)
 	if err != nil {
 		return nil, err
 	}

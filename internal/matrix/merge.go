@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -155,6 +156,16 @@ func dropZeros(es []Entry) []Entry {
 // dominant O(E log E) sort cost parallelizes across shards — and the
 // sorted shards then merge in a single linear k-way pass.
 func MergeCOO(parts ...*COO) (*COO, error) {
+	return MergeCOOContext(context.Background(), parts...)
+}
+
+// MergeCOOContext is MergeCOO with cancellation at shard granularity:
+// a shard whose compaction has not started when ctx is cancelled is
+// skipped, and the cancelled merge returns the context's error
+// instead of a partial matrix. Shards that were skipped keep their
+// un-compacted triples, so a retry on a fresh context merges the same
+// data.
+func MergeCOOContext(ctx context.Context, parts ...*COO) (*COO, error) {
 	var live []*COO
 	for _, p := range parts {
 		if p != nil {
@@ -176,10 +187,15 @@ func MergeCOO(parts ...*COO) (*COO, error) {
 		wg.Add(1)
 		go func(p *COO) {
 			defer wg.Done()
-			p.Compact()
+			if ctx.Err() == nil {
+				p.Compact()
+			}
 		}(p)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	runs := make([][]Entry, len(live))
 	for i, p := range live {
 		runs[i] = p.entries

@@ -34,6 +34,12 @@ func (p Params) validate() error {
 	return nil
 }
 
+// Normalized returns the parameters a run actually executes with:
+// zero fields replaced by the documented defaults. Two Params with
+// the same Normalized form configure identical runs, which is what
+// lets the api layer use the normalized form in cache keys.
+func (p Params) Normalized() Params { return p.withDefaults() }
+
 // withDefaults fills zero fields with the documented defaults.
 func (p Params) withDefaults() Params {
 	if p.Duration <= 0 {

@@ -657,7 +657,13 @@ func formatSeconds(d float64) string {
 	return formatFloat(d) + "s"
 }
 
-// formatFloat renders a number without trailing zeros.
+// formatFloat renders a number without trailing zeros, avoiding
+// exponent notation: composed names double as spec source (see
+// SpecString), and the spec grammar's numbers are plain decimals.
 func formatFloat(f float64) string {
-	return strconv.FormatFloat(f, 'g', -1, 64)
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if strings.ContainsAny(s, "eE") {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return s
 }

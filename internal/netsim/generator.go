@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -79,8 +80,12 @@ func planRun(s Scenario, net *Network, workers int, p Params) (chunks, nworkers 
 
 // runChunks drives the worker pool: each worker claims chunk indices
 // from a shared counter and hands (worker, chunk, rng) to fn. The
-// first error stops the run and is returned.
-func runChunks(chunks, workers int, seed int64, fn func(worker, chunk int, rng *rand.Rand) error) error {
+// first error stops the run and is returned. Cancelling ctx stops the
+// claim loop at chunk granularity: no new chunk starts once the
+// context is done, in-flight chunks finish, and the context's error
+// is reported — the hook the api layer's request cancellation rides
+// on.
+func runChunks(ctx context.Context, chunks, workers int, seed int64, fn func(worker, chunk int, rng *rand.Rand) error) error {
 	var next atomic.Int64
 	var failed atomic.Bool
 	errs := make([]error, workers)
@@ -90,6 +95,9 @@ func runChunks(chunks, workers int, seed int64, fn func(worker, chunk int, rng *
 		go func(w int) {
 			defer wg.Done()
 			for !failed.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				k := int(next.Add(1)) - 1
 				if k >= chunks {
 					return
@@ -108,7 +116,7 @@ func runChunks(chunks, workers int, seed int64, fn func(worker, chunk int, rng *
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // GenerateTrace generates the scenario's full event trace on the
@@ -117,12 +125,19 @@ func runChunks(chunks, workers int, seed int64, fn func(worker, chunk int, rng *
 // are concatenated in chunk order, and the final sort is stable on
 // equal timestamps.
 func GenerateTrace(s Scenario, net *Network, seed int64, workers int, p Params) (Trace, error) {
+	return GenerateTraceContext(context.Background(), s, net, seed, workers, p)
+}
+
+// GenerateTraceContext is GenerateTrace with cancellation: when ctx
+// is cancelled mid-run the worker pool stops claiming chunks and the
+// context's error is returned instead of a partial trace.
+func GenerateTraceContext(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params) (Trace, error) {
 	chunks, workers, pd, err := planRun(s, net, workers, p)
 	if err != nil {
 		return nil, err
 	}
 	perChunk := make([][]Event, chunks)
-	err = runChunks(chunks, workers, seed, func(_, k int, rng *rand.Rand) error {
+	err = runChunks(ctx, chunks, workers, seed, func(_, k int, rng *rand.Rand) error {
 		var buf []Event
 		if err := s.Emit(net, rng, pd, k, func(e Event) { buf = append(buf, e) }); err != nil {
 			return err
@@ -154,6 +169,14 @@ func GenerateTrace(s Scenario, net *Network, seed int64, workers int, p Params) 
 // network axis are counted in Stats.Dropped, mirroring
 // Trace.Matrix.
 func GenerateMatrix(s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.COO, Stats, error) {
+	return GenerateMatrixContext(context.Background(), s, net, seed, workers, p)
+}
+
+// GenerateMatrixContext is GenerateMatrix with cancellation threaded
+// through both sharded loops: the chunk workers stop claiming work
+// when ctx is cancelled, and the final shard merge
+// (matrix.MergeCOOContext) aborts between shard compactions.
+func GenerateMatrixContext(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.COO, Stats, error) {
 	chunks, workers, pd, err := planRun(s, net, workers, p)
 	if err != nil {
 		return nil, Stats{}, err
@@ -164,7 +187,7 @@ func GenerateMatrix(s Scenario, net *Network, seed int64, workers int, p Params)
 	for w := range shards {
 		shards[w] = matrix.NewCOO(n, n)
 	}
-	err = runChunks(chunks, workers, seed, func(w, k int, rng *rand.Rand) error {
+	err = runChunks(ctx, chunks, workers, seed, func(w, k int, rng *rand.Rand) error {
 		acc, st := shards[w], &partial[w]
 		return s.Emit(net, rng, pd, k, func(e Event) {
 			st.Events++
@@ -181,7 +204,7 @@ func GenerateMatrix(s Scenario, net *Network, seed int64, workers int, p Params)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	merged, err := matrix.MergeCOO(shards...)
+	merged, err := matrix.MergeCOOContext(ctx, shards...)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -202,7 +225,13 @@ func GenerateMatrix(s Scenario, net *Network, seed int64, workers int, p Params)
 // and the analysis layer, which consumes the CSR through the
 // matrix.Matrix accessor interface.
 func GenerateCSR(s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.CSR, Stats, error) {
-	coo, stats, err := GenerateMatrix(s, net, seed, workers, p)
+	return GenerateCSRContext(context.Background(), s, net, seed, workers, p)
+}
+
+// GenerateCSRContext is GenerateCSR with cancellation (see
+// GenerateMatrixContext).
+func GenerateCSRContext(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.CSR, Stats, error) {
+	coo, stats, err := GenerateMatrixContext(ctx, s, net, seed, workers, p)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -1,7 +1,10 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"sort"
 	"strconv"
 	"strings"
 	"unicode"
@@ -44,6 +47,62 @@ func ParseSpec(src string) (Scenario, error) {
 		return nil, p.errorf("unexpected %q after expression", p.rest())
 	}
 	return s, nil
+}
+
+// SpecString renders a scenario as its canonical spec expression —
+// the normal form of the composition algebra. For any scenario whose
+// leaves are registered catalog entries, ParseSpec(SpecString(s))
+// builds an equivalent scenario and the rendering is stable across
+// the round trip:
+//
+//	SpecString(ParseSpec(SpecString(s))) == SpecString(s)
+//
+// which is what makes it the canonical cache key of the api layer:
+// two requests naming the same mixture — however they spelled it —
+// normalize to one key. Normalization also collapses redundant
+// nesting the grammar cannot express (a Timed directly inside a
+// Timed keeps only the inner, binding pin). Scenarios outside the
+// combinator algebra render as their catalog name.
+func SpecString(s Scenario) string {
+	switch v := s.(type) {
+	case overlayScenario:
+		parts := make([]string, len(v.components))
+		for i, c := range v.components {
+			parts[i] = SpecString(c)
+		}
+		return "overlay(" + strings.Join(parts, ",") + ")"
+	case sequenceScenario:
+		parts := make([]string, len(v.steps))
+		for i, st := range v.steps {
+			parts[i] = SpecString(st.Scenario)
+			if st.Duration > 0 {
+				parts[i] += "@" + formatSeconds(st.Duration)
+			}
+		}
+		return "sequence(" + strings.Join(parts, ",") + ")"
+	case dilateScenario:
+		return "dilate(" + SpecString(v.inner) + "," + formatFloat(v.factor) + ")"
+	case amplifyScenario:
+		return "amplify(" + SpecString(v.inner) + "," + strconv.Itoa(v.n) + ")"
+	case relabelScenario:
+		pairs := make([]string, 0, len(v.mapping))
+		for from, to := range v.mapping {
+			pairs = append(pairs, from+"="+to)
+		}
+		sort.Strings(pairs)
+		return "relabel(" + SpecString(v.inner) + "," + strings.Join(pairs, ",") + ")"
+	case timedScenario:
+		if inner, ok := v.inner.(timedScenario); ok {
+			// The inner pin wins (it overwrites Duration last), and
+			// the grammar has no way to spell a double pin anyway.
+			return SpecString(inner)
+		}
+		return SpecString(v.inner) + "@" + formatSeconds(v.dur)
+	case namedScenario:
+		return v.name
+	default:
+		return s.Name()
+	}
 }
 
 // RegisterSpec parses a composition expression and registers the
@@ -350,14 +409,24 @@ func (p *specParser) parseRelabel() (Scenario, error) {
 	return Relabel(s, mapping), nil
 }
 
+// ErrSpecNotFound marks a LoadSpec argument that was neither a
+// catalog name nor a spec file present on disk. Callers branch on it
+// with errors.Is to tell "you named something that does not exist"
+// (a user typo) apart from a spec that exists but does not parse.
+var ErrSpecNotFound = errors.New("spec file not found")
+
 // LoadSpec resolves a -spec CLI argument. Text containing spec
 // syntax (parentheses, '@', '=', commas) is parsed directly as an
 // expression; a bare catalog name resolves to its scenario; anything
 // else is treated as a path to a spec file, whose contents (sans
-// surrounding whitespace) are parsed — and whose read failure is
-// reported as such, not as a parse error on the path. readFile
-// abstracts the filesystem so callers outside CLIs can pass nil to
-// forbid file lookups.
+// surrounding whitespace) are parsed. readFile abstracts the
+// filesystem so callers outside CLIs can pass nil to forbid file
+// lookups.
+//
+// The error paths stay distinguishable: a missing file wraps
+// ErrSpecNotFound (and the underlying fs.ErrNotExist), any other
+// read failure wraps the I/O error, and a file that reads but does
+// not parse wraps the parse error — all three carry the file path.
 func LoadSpec(arg string, readFile func(string) ([]byte, error)) (Scenario, error) {
 	if readFile == nil || strings.ContainsAny(arg, "()@=,") {
 		return ParseSpec(arg)
@@ -366,8 +435,16 @@ func LoadSpec(arg string, readFile func(string) ([]byte, error)) (Scenario, erro
 		return ParseSpec(arg)
 	}
 	data, err := readFile(arg)
-	if err != nil {
-		return nil, fmt.Errorf("netsim: spec %q is neither a catalog name nor a readable spec file: %w", arg, err)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return nil, fmt.Errorf("netsim: spec %q is neither a catalog name nor a readable spec file: %w: %w",
+			arg, ErrSpecNotFound, err)
+	case err != nil:
+		return nil, fmt.Errorf("netsim: read spec file %q: %w", arg, err)
 	}
-	return ParseSpec(strings.TrimSpace(string(data)))
+	s, err := ParseSpec(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("netsim: spec file %q: %w", arg, err)
+	}
+	return s, nil
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -82,6 +83,15 @@ func windowIndex(t, windowLen, horizon float64, nw int) (int, bool) {
 // window's end are excluded. The trace does not need to be sorted —
 // window membership depends only on each event's own timestamp.
 func (t Trace) WindowsCSR(net *Network, windowLen, horizon float64) ([]SparseWindow, error) {
+	return t.WindowsCSRContext(context.Background(), net, windowLen, horizon)
+}
+
+// WindowsCSRContext is WindowsCSR with cancellation: the linear fold
+// checks the context every few thousand events and the parallel
+// compaction loop checks it between windows, so a cancelled request
+// stops splitting a large trace instead of finishing the whole
+// spatial-temporal view.
+func (t Trace) WindowsCSRContext(ctx context.Context, net *Network, windowLen, horizon float64) ([]SparseWindow, error) {
 	if net == nil {
 		return nil, fmt.Errorf("netsim: nil network")
 	}
@@ -102,7 +112,10 @@ func (t Trace) WindowsCSR(net *Network, windowLen, horizon float64) ([]SparseWin
 	// Single pass: fold every event into its window's shard.
 	n := net.Len()
 	accs := make([]windowAcc, nw)
-	for _, e := range t {
+	for ei, e := range t {
+		if ei&0xfff == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		w, ok := windowIndex(e.Time, windowLen, horizon, nw)
 		if !ok {
 			continue
@@ -134,7 +147,7 @@ func (t Trace) WindowsCSR(net *Network, windowLen, horizon float64) ([]SparseWin
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				k := int(next.Add(1)) - 1
 				if k >= nw {
 					return
@@ -156,5 +169,8 @@ func (t Trace) WindowsCSR(net *Network, windowLen, horizon float64) ([]SparseWin
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
