@@ -7,18 +7,27 @@
 //
 //	twserve -addr :8080
 //
-//	GET  /v1/catalog    scenario + figure-pattern catalog
-//	POST /v1/generate   api.GenerateRequest  → api.GenerateResult
-//	POST /v1/analyze    api.AnalyzeRequest   → api.AnalyzeResult
-//	POST /v1/module     api.ModuleRequest    → core.Module JSON
-//	GET  /v1/sessions   in-flight work
-//	GET  /v1/cache      result-cache counters
+//	GET  /v1/catalog          scenario + figure-pattern catalog
+//	POST /v1/generate         api.GenerateRequest  → api.GenerateResult
+//	POST /v1/generate/stream  api.GenerateRequest  → NDJSON frame stream
+//	POST /v1/analyze          api.AnalyzeRequest   → api.AnalyzeResult
+//	POST /v1/module           api.ModuleRequest    → core.Module JSON
+//	GET  /v1/sessions         in-flight work
+//	GET  /v1/cache            result-cache counters
+//
+// The streaming variant answers with application/x-ndjson: one meta
+// frame, a window frame per sealed aggregation window the moment the
+// engine finalizes it (flushed immediately, so the first window
+// arrives long before the run completes), then a summary frame —
+// api.StreamFrame per line, decodable with api.FrameDecoder. It
+// requires a positive window and bypasses the result cache entirely.
 //
 // Cancellation is end to end: a client hanging up cancels the
 // request context, which aborts the sharded generation workers
-// mid-run; nothing partial is cached. Responses carry an X-Cache
-// header ("hit" or "miss") so load tests can see the classroom hot
-// path working.
+// mid-run; nothing partial is cached — on the streaming route a
+// hangup after window k simply ends the stream there. Batch
+// responses carry an X-Cache header ("hit" or "miss") so load tests
+// can see the classroom hot path working.
 package main
 
 import (
@@ -86,7 +95,7 @@ func newMux(svc *api.Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{
 			"service": "twserve",
 			"version": api.Version,
-			"routes":  "GET /v1/catalog · POST /v1/generate · POST /v1/analyze · POST /v1/module · GET /v1/sessions · GET /v1/cache",
+			"routes":  "GET /v1/catalog · POST /v1/generate · POST /v1/generate/stream · POST /v1/analyze · POST /v1/module · GET /v1/sessions · GET /v1/cache",
 		})
 	})
 	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +113,48 @@ func newMux(svc *api.Service) http.Handler {
 		}
 		w.Header().Set("X-Cache", cacheHeader(res.CacheHit))
 		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/generate/stream", func(w http.ResponseWriter, r *http.Request) {
+		var req api.GenerateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		flusher, _ := w.(http.Flusher)
+		wroteAny := false
+		err := svc.GenerateStream(r.Context(), req, func(f api.StreamFrame) error {
+			if !wroteAny {
+				// Headers commit on the first frame, after validation has
+				// already passed inside GenerateStream.
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				wroteAny = true
+			}
+			if err := api.EncodeFrame(w, f); err != nil {
+				return err
+			}
+			if flusher != nil {
+				// Flush per frame: the whole point of the route is that a
+				// window leaves the process the moment it seals, not when
+				// the response buffer happens to fill.
+				flusher.Flush()
+			}
+			return nil
+		})
+		if err == nil {
+			return
+		}
+		if !wroteAny {
+			// Nothing committed yet: answer like the batch route (400 for
+			// invalid requests, and so on).
+			serviceError(w, r, err)
+			return
+		}
+		// Mid-stream failure: the status line is gone, so the error
+		// travels in-band as a final frame. A hung-up client won't see
+		// it, which is fine — it ended the stream on purpose.
+		if encErr := api.EncodeFrame(w, api.StreamFrame{Type: api.FrameError, Error: err.Error()}); encErr == nil && flusher != nil {
+			flusher.Flush()
+		}
 	})
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		var req api.AnalyzeRequest

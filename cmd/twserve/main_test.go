@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -291,5 +292,165 @@ func TestOversizedBodyIs413(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestGenerateStreamEndpoint drives the NDJSON route end to end:
+// right content type, a meta frame first, windows in order, a
+// summary last, every line a valid frame.
+func TestGenerateStreamEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/generate/stream", api.GenerateRequest{
+		Spec: "ddos", Seed: 1, Duration: 20, Rate: 6, Window: 2.5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q, want application/x-ndjson", ct)
+	}
+	dec := api.NewFrameDecoder(resp.Body)
+	var types []string
+	nextWindow := 0
+	for {
+		f, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", len(types), err)
+		}
+		types = append(types, f.Type)
+		if f.Type == api.FrameWindow {
+			if f.Window.Index != nextWindow {
+				t.Fatalf("window %d arrived out of order (expected %d)", f.Window.Index, nextWindow)
+			}
+			nextWindow++
+		}
+	}
+	if len(types) != 10 || types[0] != api.FrameMeta || types[len(types)-1] != api.FrameSummary {
+		t.Fatalf("frame sequence = %v, want meta, 8 windows, summary", types)
+	}
+}
+
+// TestGenerateStreamEndpointBadRequest: validation failures happen
+// before any frame is written, so they arrive as a plain HTTP error
+// exactly like the batch route.
+func TestGenerateStreamEndpointBadRequest(t *testing.T) {
+	srv := newTestServer(t)
+	for name, body := range map[string]string{
+		"no window":        `{"spec":"ddos"}`,
+		"unknown scenario": `{"spec":"nope","window":5}`,
+		"garbage json":     "{nope",
+	} {
+		resp, err := http.Post(srv.URL+"/v1/generate/stream", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := decode[struct {
+			Error string `json:"error"`
+		}](t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: no error message", name)
+		}
+	}
+}
+
+// TestGenerateStreamEndpointHangup is the end-to-end cancellation
+// contract: a client that disconnects after the first window stops
+// the run server-side, the session registry drains, and a later
+// batch request recomputes from cold — nothing partial was cached.
+func TestGenerateStreamEndpointHangup(t *testing.T) {
+	srv := newTestServer(t)
+	body := `{"spec":"background","seed":3,"duration":3600,"rate":2,"window":5,"workers":2}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/generate/stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := api.NewFrameDecoder(resp.Body)
+	sawWindow := false
+	for !sawWindow {
+		f, err := dec.Next()
+		if err != nil {
+			t.Fatalf("stream ended before first window: %v", err)
+		}
+		sawWindow = f.Type == api.FrameWindow
+	}
+	// Hang up mid-stream.
+	cancel()
+	resp.Body.Close()
+
+	// The server-side session must drain promptly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sresp, err := http.Get(srv.URL + "/v1/sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions := decode[[]api.SessionInfo](t, sresp)
+		sresp.Body.Close()
+		if len(sessions) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream session still alive after hangup: %+v", sessions)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// And the cache must be untouched: the hangup inserted nothing.
+	cresp, err := http.Get(srv.URL + "/v1/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	if stats := decode[api.CacheStats](t, cresp); stats.Len != 0 {
+		t.Errorf("hung-up stream left %d cache entries", stats.Len)
+	}
+}
+
+// TestGenerateStreamEndpointBypassesCache pins the HTTP-level cache
+// contract: streams neither hit nor populate the shared cache.
+func TestGenerateStreamEndpointBypassesCache(t *testing.T) {
+	srv := newTestServer(t)
+	req := api.GenerateRequest{Spec: "scan", Seed: 1, Workers: 1, Duration: 4, Window: 2}
+
+	// Prime the cache with a batch request.
+	postJSON(t, srv.URL+"/v1/generate", req).Body.Close()
+
+	// Stream the same request to completion.
+	resp := postJSON(t, srv.URL+"/v1/generate/stream", req)
+	dec := api.NewFrameDecoder(resp.Body)
+	frames := 0
+	for {
+		if _, err := dec.Next(); err != nil {
+			break
+		}
+		frames++
+	}
+	if frames != 4 {
+		t.Fatalf("stream produced %d frames, want meta+2 windows+summary", frames)
+	}
+
+	cresp, err := http.Get(srv.URL + "/v1/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	stats := decode[api.CacheStats](t, cresp)
+	if stats.Len != 1 || stats.Hits != 0 {
+		t.Errorf("stream touched the cache: %+v", stats)
 	}
 }

@@ -19,6 +19,14 @@
 // Interrupting a long run (Ctrl-C) cancels the request context,
 // which aborts the sharded generation workers mid-run.
 //
+// -stream switches to the incremental path (api.GenerateStream):
+// windows print the moment the engine finalizes them instead of
+// after the whole run, so a long simulation shows its first window
+// in seconds. With -json, -stream emits the raw NDJSON frame stream
+// (api.StreamFrame per line — the same wire form twserve's
+// /v1/generate/stream serves). Streaming bypasses the result cache
+// and cannot -export (the busiest window is only known at the end).
+//
 // Run with -list to see the scenario catalog.
 package main
 
@@ -37,6 +45,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/netsim"
 	"repro/internal/render"
 	"repro/internal/term"
 )
@@ -70,6 +79,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	hosts := fs.Int("hosts", 0, "network size (≤10 = the paper's standard 10-host network)")
 	window := fs.Float64("window", 10, "aggregation window in seconds")
 	noRender := fs.Bool("norender", false, "skip per-window matrix rendering (throughput runs)")
+	stream := fs.Bool("stream", false, "stream windows as they are generated instead of waiting for the whole run")
 	jsonOut := fs.Bool("json", false, "emit the full result as JSON (the api wire form) instead of text")
 	exportPath := fs.String("export", "", "export the busiest window as a module JSON file")
 	plain := fs.Bool("plain", false, "disable ANSI colors")
@@ -115,13 +125,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("window length must be positive, got %g", *window)
 	}
 
-	res, err := svc.Generate(ctx, api.NewGenerateRequest(requested,
+	req := api.NewGenerateRequest(requested,
 		api.WithSeed(*seed),
 		api.WithHosts(*hosts),
 		api.WithWorkers(*workers),
 		api.WithParams(*duration, *rate, *scale),
 		api.WithWindow(*window),
-	))
+	)
+
+	if *stream {
+		if *exportPath != "" {
+			return fmt.Errorf("-export needs the complete result; run without -stream")
+		}
+		return runStream(ctx, svc, stdout, req, *jsonOut, *noRender)
+	}
+
+	res, err := svc.Generate(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -176,37 +195,50 @@ func printResult(stdout io.Writer, res *api.GenerateResult, noRender bool) error
 		colors = res.Zones.ColorMatrix()
 	}
 	for i := range res.Windows {
-		w := &res.Windows[i]
-		fmt.Fprintf(stdout, "\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Packets)
-		if w.Dropped > 0 {
-			fmt.Fprintf(stdout, "   (%d packets dropped: events name hosts outside the axis)\n", w.Dropped)
-		}
-		if !noRender {
-			fb, err := render.Matrix2D(w.Matrix.ToDense(), render.Matrix2DOptions{
-				Labels: res.Labels,
-				Colors: colors,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Fprint(stdout, fb.ANSI())
-		}
-		if w.AttackStage != nil {
-			fmt.Fprintf(stdout, "   attack-stage reading: %s (%.2f)\n", w.AttackStage.Label, w.AttackStage.Confidence)
-		}
-		if w.DDoS != nil {
-			fmt.Fprintf(stdout, "   ddos reading:         %s (%.2f)\n", w.DDoS.Label, w.DDoS.Confidence)
-		}
-		if w.Hub != nil {
-			fmt.Fprintf(stdout, "   busiest hub:          %s (%s fan %d, %d packets)\n",
-				w.Hub.Host, w.Hub.Direction, w.Hub.Fan, w.Hub.Packets)
+		if err := printWindow(stdout, &res.Windows[i], res.Labels, colors, noRender); err != nil {
+			return err
 		}
 	}
 
-	agg := res.Aggregate
-	fmt.Fprintln(stdout, "\n── aggregate readings (sparse CSR path)")
-	fmt.Fprintf(stdout, "   sparse timings: aggregate %v, profile+classify %v\n",
+	fmt.Fprintf(stdout, "\n── aggregate readings (sparse CSR path)\n   sparse timings: aggregate %v, profile+classify %v\n",
 		res.Timings.Aggregate.Round(time.Microsecond), res.Timings.Analyze.Round(time.Microsecond))
+	printAggregate(stdout, res.Aggregate, res.ComposedOf)
+	return nil
+}
+
+// printWindow renders one window of the analyst view: the text view
+// shared verbatim by the batch and streaming paths.
+func printWindow(stdout io.Writer, w *api.WindowResult, labels []string, colors *matrix.Dense, noRender bool) error {
+	fmt.Fprintf(stdout, "\n── window [%5.1fs,%5.1fs): %d events, %d packets\n", w.Start, w.End, w.Events, w.Packets)
+	if w.Dropped > 0 {
+		fmt.Fprintf(stdout, "   (%d packets dropped: events name hosts outside the axis)\n", w.Dropped)
+	}
+	if !noRender {
+		fb, err := render.Matrix2D(w.Matrix.ToDense(), render.Matrix2DOptions{
+			Labels: labels,
+			Colors: colors,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, fb.ANSI())
+	}
+	if w.AttackStage != nil {
+		fmt.Fprintf(stdout, "   attack-stage reading: %s (%.2f)\n", w.AttackStage.Label, w.AttackStage.Confidence)
+	}
+	if w.DDoS != nil {
+		fmt.Fprintf(stdout, "   ddos reading:         %s (%.2f)\n", w.DDoS.Label, w.DDoS.Confidence)
+	}
+	if w.Hub != nil {
+		fmt.Fprintf(stdout, "   busiest hub:          %s (%s fan %d, %d packets)\n",
+			w.Hub.Host, w.Hub.Direction, w.Hub.Fan, w.Hub.Packets)
+	}
+	return nil
+}
+
+// printAggregate renders the whole-run classifier block, shared by
+// the batch footer and the stream's summary frame.
+func printAggregate(stdout io.Writer, agg api.Aggregate, composedOf []string) {
 	fmt.Fprintf(stdout, "   n=%d nnz=%d (density %.2f%%) packets=%d max-cell=%d\n",
 		agg.Profile.N, agg.Profile.NNZ, agg.Profile.DensityPct, agg.Profile.Packets, agg.Profile.MaxCell)
 	if agg.Behavior != nil {
@@ -221,10 +253,57 @@ func printResult(stdout io.Writer, res *api.GenerateResult, noRender bool) error
 		}
 		fmt.Fprintf(stdout, "   mixture:   %s\n", strings.Join(parts, " + "))
 	}
-	if len(res.ComposedOf) > 0 {
-		fmt.Fprintf(stdout, "   composed of: %s\n", strings.Join(res.ComposedOf, " + "))
+	if len(composedOf) > 0 {
+		fmt.Fprintf(stdout, "   composed of: %s\n", strings.Join(composedOf, " + "))
 	}
-	return nil
+}
+
+// runStream drives api.GenerateStream: in JSON mode it relays the raw
+// NDJSON frames; in text mode it prints each window the moment the
+// engine seals it, using the same renderers as the batch view.
+func runStream(ctx context.Context, svc *api.Service, stdout io.Writer, req api.GenerateRequest, jsonOut, noRender bool) error {
+	var (
+		colors     *matrix.Dense
+		labels     []string
+		composedOf []string
+		start      = time.Now()
+	)
+	return svc.GenerateStream(ctx, req, func(f api.StreamFrame) error {
+		if jsonOut {
+			return api.EncodeFrame(stdout, f)
+		}
+		switch f.Type {
+		case api.FrameMeta:
+			m := f.Meta
+			labels = m.Labels
+			composedOf = m.ComposedOf
+			fmt.Fprintf(stdout, "scenario %s on %d hosts: streaming %d windows of %gs over %.1fs (workers=%d)\n",
+				m.Scenario, m.Hosts, m.Windows, m.Window, m.Duration, m.Workers)
+			fmt.Fprintf(stdout, "expected shape: %s\n", m.Shape)
+			if len(m.Schedule) > 0 {
+				fmt.Fprintln(stdout, "ground truth schedule:")
+				for _, ph := range m.Schedule {
+					fmt.Fprintf(stdout, "  [%5.1fs,%5.1fs) %s\n", ph.Start, ph.End, ph.Label)
+				}
+			}
+			if !noRender {
+				// The zone color grid matches the service's network layout
+				// for the same host count.
+				if zones, err := netsim.ScaledNetwork(m.Hosts).Zones(); err == nil {
+					colors = zones.ColorMatrix()
+				}
+			}
+		case api.FrameWindow:
+			return printWindow(stdout, f.Window, labels, colors, noRender)
+		case api.FrameSummary:
+			s := f.Summary
+			fmt.Fprintf(stdout, "\n── stream complete in %v: %d events, %d packets\n",
+				time.Since(start).Round(time.Millisecond), s.Events, s.Packets)
+			fmt.Fprintln(stdout, "── aggregate readings (sparse CSR path)")
+			printAggregate(stdout, s.Aggregate, composedOf)
+		}
+		return nil
+	})
 }
 
 // busiestWindow picks the non-empty window with the most packets

@@ -350,3 +350,104 @@ func TestRunExportSkipsEmptyRun(t *testing.T) {
 		t.Errorf("busiestWindow = %+v, want window 1", w)
 	}
 }
+
+// TestRunStreamTextMatchesBatchWindows: the stream mode's per-window
+// text is identical to the batch run's, with the header and footer
+// being the only differences — the two modes share printWindow.
+func TestRunStreamTextMatchesBatchWindows(t *testing.T) {
+	args := []string{"-scenario", "scan", "-seed", "1", "-duration", "8", "-window", "2", "-workers", "2", "-plain"}
+	var batch, stream bytes.Buffer
+	if err := run(context.Background(), args, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append([]string{"-stream"}, args...), &stream); err != nil {
+		t.Fatal(err)
+	}
+
+	windowsOf := func(out string) string {
+		lines := strings.Split(out, "\n")
+		var kept []string
+		keeping := false
+		for _, line := range lines {
+			if strings.HasPrefix(line, "── window") {
+				keeping = true
+			}
+			if strings.HasPrefix(line, "── aggregate") || strings.HasPrefix(line, "── stream complete") {
+				keeping = false
+			}
+			if keeping {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	bw, sw := windowsOf(batch.String()), windowsOf(stream.String())
+	if bw == "" {
+		t.Fatal("batch output has no window sections")
+	}
+	if bw != sw {
+		t.Errorf("stream windows differ from batch windows:\n--- batch ---\n%s\n--- stream ---\n%s", bw, sw)
+	}
+	if !strings.Contains(stream.String(), "streaming 4 windows of 2s") {
+		t.Errorf("stream header missing: %q", stream.String())
+	}
+	if !strings.Contains(stream.String(), "── stream complete") {
+		t.Error("stream summary footer missing")
+	}
+}
+
+// TestRunStreamJSONEmitsFrames: -stream -json relays the NDJSON
+// frame stream — decodable, meta first, windows in order, summary
+// last.
+func TestRunStreamJSONEmitsFrames(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-stream", "-json", "-scenario", "ddos", "-seed", "1", "-duration", "20", "-window", "5", "-plain",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := api.NewFrameDecoder(&out)
+	var types []string
+	next := 0
+	for {
+		f, derr := dec.Next()
+		if derr != nil {
+			break
+		}
+		types = append(types, f.Type)
+		if f.Type == api.FrameWindow {
+			if f.Window.Index != next {
+				t.Fatalf("window %d out of order (want %d)", f.Window.Index, next)
+			}
+			next++
+		}
+	}
+	if len(types) != 6 || types[0] != api.FrameMeta || types[len(types)-1] != api.FrameSummary {
+		t.Fatalf("frame sequence = %v, want meta, 4 windows, summary", types)
+	}
+}
+
+// TestRunStreamExportRejected: -export needs the whole result, so
+// combining it with -stream is an explicit error, not silence.
+func TestRunStreamExportRejected(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mod.json")
+	err := run(context.Background(), []string{"-stream", "-export", out, "-duration", "4"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-export") {
+		t.Fatalf("err = %v, want an -export/-stream conflict", err)
+	}
+	if _, serr := os.Stat(out); !errors.Is(serr, os.ErrNotExist) {
+		t.Error("rejected run still wrote the export file")
+	}
+}
+
+// TestRunStreamCancelledContext: a cancelled context aborts the
+// stream with the context's error, like the batch path.
+func TestRunStreamCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-stream", "-scenario", "background", "-duration", "3600", "-rate", "2", "-norender"}, &bytes.Buffer{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -24,7 +24,12 @@
 //     string (netsim.SpecString) plus normalized parameters. The
 //     classroom hot path — thirty students requesting the same
 //     scenario — hits the cache after the first generation.
-//     Cancelled or failed runs never enter the cache.
+//     Cancelled or failed runs never enter the cache. GenerateStream
+//     is the deliberate exception: it delivers NDJSON-ready frames
+//     (meta, one per sealed window as netsim.StreamCSR finalizes it,
+//     then summary — see StreamFrame, EncodeFrame, FrameDecoder) and
+//     bypasses the cache and request coalescing entirely, since a
+//     partially consumed stream must never seed either.
 //
 //   - Observable: a concurrent session registry tracks in-flight
 //     requests (Sessions, CancelSession), and CacheStats exposes

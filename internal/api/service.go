@@ -182,24 +182,7 @@ func (svc *Service) generate(ctx context.Context, scn netsim.Scenario, canonical
 		roles, rolesErr := patterns.AssignDDoSRoles(zones)
 		res.Windows = make([]WindowResult, 0, len(windows))
 		for k, w := range windows {
-			wr := WindowResult{
-				Index: k, Start: w.Start, End: w.End,
-				Events: w.Events, Packets: w.Matrix.Sum(), NNZ: w.Matrix.NNZ(),
-				Dropped: w.Dropped, Matrix: w.Matrix,
-			}
-			if wr.NNZ > 0 {
-				stage, conf := patterns.ClassifyAttackStageOf(w.Matrix, zones)
-				wr.AttackStage = &Reading{Label: stage.String(), Confidence: conf}
-				if rolesErr == nil {
-					comp, dconf := patterns.ClassifyDDoSOf(w.Matrix, roles)
-					wr.DDoS = &Reading{Label: comp.String(), Confidence: dconf}
-				}
-				if hubs := matrix.SupernodesOf(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
-					h := hubs[0]
-					wr.Hub = &Hub{Host: res.Labels[h.Index], Direction: h.Direction, Fan: h.Fan, Packets: h.Packets}
-				}
-			}
-			res.Windows = append(res.Windows, wr)
+			res.Windows = append(res.Windows, windowResult(k, w, zones, roles, rolesErr, res.Labels))
 		}
 	}
 
@@ -215,6 +198,32 @@ func (svc *Service) generate(ctx context.Context, scn netsim.Scenario, canonical
 	res.AggregateCSR = csr
 	res.Timings = Timings{Generate: genElapsed, Aggregate: aggElapsed, Analyze: analyzeElapsed}
 	return res, nil
+}
+
+// windowResult builds one interval's WindowResult with its
+// classifier readings. It is the single construction point shared by
+// the batch per-window view and the streaming path, which is what
+// guarantees a streamed window frame carries exactly the readings
+// the batch result would for the same window.
+func windowResult(k int, w netsim.SparseWindow, zones patterns.Zones, roles patterns.DDoSRoles, rolesErr error, labels []string) WindowResult {
+	wr := WindowResult{
+		Index: k, Start: w.Start, End: w.End,
+		Events: w.Events, Packets: w.Matrix.Sum(), NNZ: w.Matrix.NNZ(),
+		Dropped: w.Dropped, Matrix: w.Matrix,
+	}
+	if wr.NNZ > 0 {
+		stage, conf := patterns.ClassifyAttackStageOf(w.Matrix, zones)
+		wr.AttackStage = &Reading{Label: stage.String(), Confidence: conf}
+		if rolesErr == nil {
+			comp, dconf := patterns.ClassifyDDoSOf(w.Matrix, roles)
+			wr.DDoS = &Reading{Label: comp.String(), Confidence: dconf}
+		}
+		if hubs := matrix.SupernodesOf(w.Matrix, patterns.SupernodeFanThreshold); len(hubs) > 0 {
+			h := hubs[0]
+			wr.Hub = &Hub{Host: labels[h.Index], Direction: h.Direction, Fan: h.Fan, Packets: h.Packets}
+		}
+	}
+	return wr
 }
 
 // analyzeMatrix runs every classifier over a matrix through the

@@ -1,0 +1,74 @@
+package api
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzFrameCodec drives the NDJSON frame decoder with arbitrary
+// bytes and checks two properties:
+//
+//   - resilience: malformed input produces an error, never a panic
+//     or unbounded growth — the decoder fronts twserve's streaming
+//     endpoint output on the twsim side, so it must survive anything
+//     a broken proxy could splice into the stream;
+//   - round-trip stability: every frame the decoder does accept
+//     re-encodes through EncodeFrame and decodes back to a deeply
+//     equal frame, so encoder and decoder agree on the wire contract
+//     for the entire accepted language, not just the frames our own
+//     encoder happens to produce.
+func FuzzFrameCodec(f *testing.F) {
+	// Seed with one well-formed stream of every frame type, plus the
+	// malformed shapes the unit tests pin.
+	var good bytes.Buffer
+	for _, fr := range []StreamFrame{
+		{Type: FrameMeta, Meta: &StreamMeta{Version: Version, Spec: "ddos", Scenario: "ddos",
+			Hosts: 10, Duration: 40, Window: 10, Windows: 4, Labels: []string{"WS1"}}},
+		{Type: FrameWindow, Window: &WindowResult{Index: 0, Start: 0, End: 10, Events: 3,
+			AttackStage: &Reading{Label: "attack", Confidence: 0.5}}},
+		{Type: FrameSummary, Summary: &StreamSummary{Events: 3, Packets: 30}},
+		{Type: FrameError, Error: "boom"},
+	} {
+		if err := EncodeFrame(&good, fr); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(`{"type":"meta"}` + "\n"))
+	f.Add([]byte(`{"type":"zebra","error":"x"}` + "\n"))
+	f.Add([]byte(`{"type":"window","window":{"index":0},"error":"both"}` + "\n"))
+	f.Add([]byte("not json\n\n  \n{\"type\":\"error\",\"error\":\"x\"}\n"))
+	f.Add([]byte(`{"type":"window","window":{"index":2,"start":20,"end":30,"cells":[[1,0],[0,2]]}}` + "\n"))
+	f.Add([]byte(strings.Repeat(`{"type":"error","error":"xx"}`+"\n", 50)))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewFrameDecoder(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			frame, err := dec.Next()
+			if err != nil {
+				// io.EOF or a decode error both end the stream; either
+				// way the decoder must have stopped cleanly.
+				return
+			}
+			// Accepted frames must satisfy the shared validity gate…
+			if verr := frame.validate(); verr != nil {
+				t.Fatalf("decoder accepted invalid frame %+v: %v", frame, verr)
+			}
+			// …and survive an encode→decode round trip unchanged.
+			var buf bytes.Buffer
+			if err := EncodeFrame(&buf, frame); err != nil {
+				t.Fatalf("accepted frame does not re-encode: %+v: %v", frame, err)
+			}
+			again, err := NewFrameDecoder(&buf).Next()
+			if err != nil {
+				t.Fatalf("re-encoded frame does not decode: %v", err)
+			}
+			if !reflect.DeepEqual(again, frame) {
+				t.Fatalf("round trip changed frame:\n first:  %+v\n second: %+v", frame, again)
+			}
+		}
+	})
+}

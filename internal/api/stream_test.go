@@ -1,0 +1,368 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// streamAll runs GenerateStream and collects every frame.
+func streamAll(t *testing.T, svc *Service, req GenerateRequest) []StreamFrame {
+	t.Helper()
+	var frames []StreamFrame
+	if err := svc.GenerateStream(context.Background(), req, func(f StreamFrame) error {
+		frames = append(frames, f)
+		return nil
+	}); err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+	return frames
+}
+
+// TestGenerateStreamMatchesBatch is the façade-level parity contract:
+// the stream's meta, window frames, and summary carry exactly what
+// the batch result does for the same request — same windows in the
+// same order with the same classifier readings, same aggregate
+// analysis, same tallies.
+func TestGenerateStreamMatchesBatch(t *testing.T) {
+	req := NewGenerateRequest("overlay(background, ddos)",
+		WithSeed(11), WithParams(20, 6, 1), WithWindow(2.5))
+	batch, err := New().Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := streamAll(t, New(), req)
+
+	if len(frames) != 2+len(batch.Windows) {
+		t.Fatalf("%d frames for %d batch windows", len(frames), len(batch.Windows))
+	}
+	meta := frames[0]
+	if meta.Type != FrameMeta || meta.Meta == nil {
+		t.Fatalf("first frame = %+v, want meta", meta)
+	}
+	m := meta.Meta
+	if m.Version != batch.Version || m.Spec != batch.Spec || m.Scenario != batch.Scenario ||
+		m.Shape != batch.Shape || m.Hosts != batch.Hosts || m.Seed != batch.Seed ||
+		m.Duration != batch.Duration || m.Windows != len(batch.Windows) ||
+		!reflect.DeepEqual(m.Labels, batch.Labels) ||
+		!reflect.DeepEqual(m.Schedule, batch.Schedule) ||
+		!reflect.DeepEqual(m.ComposedOf, batch.ComposedOf) {
+		t.Errorf("meta frame %+v does not mirror batch header %+v", m, batch)
+	}
+
+	for i, wf := range frames[1 : len(frames)-1] {
+		if wf.Type != FrameWindow || wf.Window == nil {
+			t.Fatalf("frame %d = %+v, want window", i+1, wf)
+		}
+		if !reflect.DeepEqual(*wf.Window, batch.Windows[i]) {
+			t.Errorf("window frame %d differs from batch window:\n stream: %+v\n batch:  %+v",
+				i, *wf.Window, batch.Windows[i])
+		}
+	}
+
+	last := frames[len(frames)-1]
+	if last.Type != FrameSummary || last.Summary == nil {
+		t.Fatalf("last frame = %+v, want summary", last)
+	}
+	s := last.Summary
+	if s.Events != batch.Events || s.Packets != batch.Packets {
+		t.Errorf("summary tallies %d/%d, batch %d/%d", s.Events, s.Packets, batch.Events, batch.Packets)
+	}
+	if !reflect.DeepEqual(s.Aggregate, batch.Aggregate) {
+		t.Errorf("summary aggregate differs from batch:\n stream: %+v\n batch:  %+v", s.Aggregate, batch.Aggregate)
+	}
+}
+
+// TestGenerateStreamIncludeMatrices pins that the opt-in dense grids
+// ride window frames exactly as they do batch windows.
+func TestGenerateStreamIncludeMatrices(t *testing.T) {
+	req := quick(WithMatrices())
+	frames := streamAll(t, New(), req)
+	batch, err := New().Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wf := range frames[1 : len(frames)-1] {
+		if wf.Window.Cells == nil {
+			t.Fatalf("window frame %d missing cells", i)
+		}
+		if !reflect.DeepEqual(wf.Window.Cells, batch.Windows[i].Cells) {
+			t.Errorf("window frame %d cells differ from batch", i)
+		}
+	}
+}
+
+// TestGenerateStreamBypassesCache pins the cache contract from both
+// sides: a stream neither reads nor writes the result cache — a
+// priming batch request does not short-circuit a stream, and a
+// completed stream leaves the cache exactly as it found it.
+func TestGenerateStreamBypassesCache(t *testing.T) {
+	svc := New()
+	req := quick()
+	if _, err := svc.Generate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.CacheStats()
+
+	frames := streamAll(t, svc, req)
+	if len(frames) < 3 {
+		t.Fatalf("stream produced %d frames", len(frames))
+	}
+
+	after := svc.CacheStats()
+	if after.Len != before.Len || after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("stream touched the cache: before %+v, after %+v", before, after)
+	}
+}
+
+// TestStreamThenBatchRecomputes is the regression test for the
+// partial-result hazard: a stream cancelled mid-run must leave
+// nothing behind, so a cold batch request for the same key recomputes
+// in full and only then becomes cacheable.
+func TestStreamThenBatchRecomputes(t *testing.T) {
+	svc := New()
+	req := NewGenerateRequest("background", WithSeed(3), WithParams(60, 4, 1), WithWindow(5))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	windows := 0
+	err := svc.GenerateStream(ctx, req, func(f StreamFrame) error {
+		if f.Type == FrameWindow {
+			windows++
+			cancel()
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v", err)
+	}
+	if windows == 0 {
+		t.Fatal("stream cancelled before any window")
+	}
+	if st := svc.CacheStats(); st.Len != 0 {
+		t.Fatalf("cancelled stream left %d cache entries", st.Len)
+	}
+
+	res, err := svc.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("batch request after cancelled stream reported a cache hit")
+	}
+	if len(res.Windows) != 12 {
+		t.Errorf("batch recompute produced %d windows, want 12", len(res.Windows))
+	}
+	again, err := svc.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("second batch request missed the cache")
+	}
+}
+
+// TestGenerateStreamCancellation pins prompt mid-stream cancellation
+// at the façade: the consumer hangs up after the first window, the
+// call returns the context error quickly, the session registry
+// drains, and no goroutines leak.
+func TestGenerateStreamCancellation(t *testing.T) {
+	svc := New()
+	req := NewGenerateRequest("background", WithSeed(5), WithParams(3600, 2, 1), WithWindow(5))
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	err := svc.GenerateStream(ctx, req, func(f StreamFrame) error {
+		if f.Type == FrameWindow {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if sessions := svc.Sessions(); len(sessions) != 0 {
+		t.Fatalf("sessions did not drain: %+v", sessions)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGenerateStreamSessionVisible pins that an in-flight stream
+// appears in the session registry under its own kind, so operators
+// can see and cancel it like any other work.
+func TestGenerateStreamSessionVisible(t *testing.T) {
+	svc := New()
+	req := NewGenerateRequest("background", WithSeed(5), WithParams(120, 4, 1), WithWindow(5))
+	sawKind := make(chan string, 1)
+	err := svc.GenerateStream(context.Background(), req, func(f StreamFrame) error {
+		if f.Type == FrameMeta {
+			for _, s := range svc.Sessions() {
+				select {
+				case sawKind <- s.Kind:
+				default:
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case kind := <-sawKind:
+		if kind != "stream" {
+			t.Errorf("session kind = %q, want stream", kind)
+		}
+	default:
+		t.Error("no session visible during the stream")
+	}
+}
+
+// TestGenerateStreamOperatorCancel pins the CancelSession path: an
+// operator kill surfaces as ErrSessionCancelled, not as the
+// consumer's own hangup.
+func TestGenerateStreamOperatorCancel(t *testing.T) {
+	svc := New()
+	req := NewGenerateRequest("background", WithSeed(5), WithParams(3600, 2, 1), WithWindow(5))
+	err := svc.GenerateStream(context.Background(), req, func(f StreamFrame) error {
+		for _, s := range svc.Sessions() {
+			svc.CancelSession(s.ID)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrSessionCancelled) {
+		t.Fatalf("operator-cancelled stream returned %v, want ErrSessionCancelled", err)
+	}
+}
+
+// TestGenerateStreamValidation pins the request taxonomy: a stream
+// without a window, and every invalid field a batch request rejects,
+// fail with ErrInvalidRequest before any frame is emitted.
+func TestGenerateStreamValidation(t *testing.T) {
+	svc := New()
+	bad := []GenerateRequest{
+		NewGenerateRequest("background"),                                            // no window
+		NewGenerateRequest("", WithWindow(5)),                                       // empty spec
+		NewGenerateRequest("no-such-thing", WithWindow(5)),                          // unknown scenario
+		NewGenerateRequest("background", WithWindow(5), WithParams(1e6, 1e6, 1000)), // over budget
+	}
+	for i, req := range bad {
+		frames := 0
+		err := svc.GenerateStream(context.Background(), req, func(StreamFrame) error {
+			frames++
+			return nil
+		})
+		if !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("bad request %d returned %v, want ErrInvalidRequest", i, err)
+		}
+		if frames != 0 {
+			t.Errorf("bad request %d emitted %d frames", i, frames)
+		}
+	}
+}
+
+// TestFrameCodecRoundTrip pins the NDJSON wire contract frame by
+// frame: encode → decode is the identity on every frame type.
+func TestFrameCodecRoundTrip(t *testing.T) {
+	frames := []StreamFrame{
+		{Type: FrameMeta, Meta: &StreamMeta{
+			Version: Version, Spec: "ddos", Scenario: "ddos", Shape: "row+column",
+			Hosts: 10, Seed: 7, Workers: 4, Duration: 40, Window: 10, Windows: 4,
+			Labels:   []string{"WS1", "WS2"},
+			Schedule: []Phase{{Label: "recruit", Start: 0, End: 10}},
+		}},
+		{Type: FrameWindow, Window: &WindowResult{
+			Index: 2, Start: 20, End: 30, Events: 5, Packets: 40, NNZ: 3,
+			AttackStage: &Reading{Label: "attack", Confidence: 0.9},
+			Hub:         &Hub{Host: "SRV1", Direction: "in", Fan: 6, Packets: 40},
+			Cells:       [][]int{{0, 1}, {2, 0}},
+		}},
+		{Type: FrameSummary, Summary: &StreamSummary{Events: 100, Packets: 900}},
+		{Type: FrameError, Error: "worker pool exploded"},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := EncodeFrame(&buf, f); err != nil {
+			t.Fatalf("EncodeFrame(%s): %v", f.Type, err)
+		}
+	}
+	dec := NewFrameDecoder(&buf)
+	for i, want := range frames {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("Next() frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d round trip:\n got:  %+v\n want: %+v", i, got, want)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("decoder at end returned %v, want io.EOF", err)
+	}
+}
+
+// TestFrameCodecRejectsMalformed pins the decoder's error taxonomy —
+// and that the encoder refuses to produce frames the decoder would
+// reject.
+func TestFrameCodecRejectsMalformed(t *testing.T) {
+	badLines := []string{
+		`not json at all`,
+		`{"type":"zebra"}`,
+		`{"type":"meta"}`,
+		`{"type":"window"}`,
+		`{"type":"summary"}`,
+		`{"type":"error"}`,
+		`{"type":"window","summary":{"events":1},"window":{"index":0}}`,
+		`{"type":"error","error":"x","meta":{"version":"v1"}}`,
+		`{}`,
+	}
+	for _, line := range badLines {
+		dec := NewFrameDecoder(strings.NewReader(line + "\n"))
+		if _, err := dec.Next(); err == nil || err == io.EOF {
+			t.Errorf("decoder accepted %q", line)
+		}
+	}
+
+	badFrames := []StreamFrame{
+		{},
+		{Type: "zebra"},
+		{Type: FrameMeta},
+		{Type: FrameWindow, Window: &WindowResult{}, Error: "both"},
+		{Type: FrameSummary, Summary: &StreamSummary{}, Meta: &StreamMeta{}},
+	}
+	for i, f := range badFrames {
+		if err := EncodeFrame(io.Discard, f); err == nil {
+			t.Errorf("encoder accepted bad frame %d: %+v", i, f)
+		}
+	}
+
+	// Blank lines between frames are tolerated; an oversized line is
+	// an error, not a hang or a panic.
+	dec := NewFrameDecoder(strings.NewReader("\n  \n" + `{"type":"error","error":"x"}` + "\n"))
+	if f, err := dec.Next(); err != nil || f.Type != FrameError {
+		t.Errorf("decoder tripped on blank lines: %+v, %v", f, err)
+	}
+	huge := strings.Repeat("x", MaxFrameBytes+1)
+	dec = NewFrameDecoder(strings.NewReader(huge))
+	if _, err := dec.Next(); err == nil {
+		t.Error("decoder accepted an oversized line")
+	}
+}

@@ -80,6 +80,32 @@ type Scenario interface {
 	Emit(net *Network, rng *rand.Rand, p Params, chunk int, emit func(Event)) error
 }
 
+// ChunkSpanner is optionally implemented by scenarios whose chunks
+// are time-local: ChunkSpan reports a conservative bound [start, end]
+// on the event timestamps chunk k can emit under the given
+// configuration. The streaming engine (stream.go) uses spans to seal
+// aggregation windows early — a window closes once every chunk whose
+// span overlaps it has finished — so a span must always cover the
+// chunk's real emissions: padding is safe and merely delays sealing,
+// while an under-reported span would silently drop traffic from
+// already-finalized windows (the parity suite would catch it).
+// Scenarios without spans are treated as able to emit at any time,
+// which keeps them correct in a stream at the cost of sealing every
+// window only when the run completes.
+type ChunkSpanner interface {
+	ChunkSpan(net *Network, p Params, chunk int) (start, end float64)
+}
+
+// chunkSpan resolves a chunk's conservative time bounds: the
+// scenario's own when it publishes them, the whole timeline (and
+// beyond) otherwise.
+func chunkSpan(s Scenario, net *Network, p Params, chunk int) (start, end float64) {
+	if sp, ok := s.(ChunkSpanner); ok {
+		return sp.ChunkSpan(net, p, chunk)
+	}
+	return 0, math.Inf(1)
+}
+
 // Phase is one labeled interval of a scripted scenario's timeline:
 // the ground truth an analyst exercise grades against.
 type Phase struct {

@@ -145,6 +145,13 @@ func (o overlayScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int,
 	return o.components[ci].Emit(net, rng, p, local, emit)
 }
 
+// ChunkSpan delegates to the component that owns the chunk: an
+// overlay keeps every component's own time locality.
+func (o overlayScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	ci, local := locateChunk(o.chunkCounts(net, p), chunk)
+	return chunkSpan(o.components[ci], net, p, local)
+}
+
 // Schedule merges the components' ground-truth phases onto one
 // timeline, sorted by start time. Components without a schedule
 // contribute nothing.
@@ -312,6 +319,26 @@ func (q sequenceScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int
 	})
 }
 
+// ChunkSpan maps the owning step's span into its slot: the inner
+// span (computed against the slot-local params) shifted by the slot
+// start. A step without its own span is bounded below by its slot
+// start but not above — inner emissions could in principle trail past
+// the slot, so the conservative upper bound stays open. A collapsed
+// slot reports an unbounded span; generating it fails anyway.
+func (q sequenceScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	slots := q.slots(p)
+	ci, local := locateChunk(q.chunkCounts(net, p), chunk)
+	slot := slots[ci]
+	if slot.End <= slot.Start {
+		return 0, math.Inf(1)
+	}
+	if sp, ok := q.steps[ci].Scenario.(ChunkSpanner); ok {
+		start, end := sp.ChunkSpan(net, stepParams(p, slot), local)
+		return slot.Start + start, slot.Start + end
+	}
+	return slot.Start, math.Inf(1)
+}
+
 // Schedule offsets each step's ground-truth phases into its slot;
 // steps without their own schedule contribute one phase labeled with
 // the step's name spanning the slot, so the sequence always exposes a
@@ -393,6 +420,16 @@ func (d dilateScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int, 
 	})
 }
 
+// ChunkSpan stretches the component's span by the factor, exactly
+// like the emitted timestamps.
+func (d dilateScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	if d.factor <= 0 {
+		return 0, math.Inf(1)
+	}
+	start, end := chunkSpan(d.inner, net, d.innerParams(p), chunk)
+	return start * d.factor, end * d.factor
+}
+
 // Schedule stretches the component's phase timeline by the factor.
 func (d dilateScenario) Schedule(p Params) []Phase {
 	sched, ok := d.inner.(Scheduler)
@@ -448,6 +485,15 @@ func (a amplifyScenario) Chunks(net *Network, p Params) int {
 
 func (a amplifyScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int, emit func(Event)) error {
 	return a.inner.Emit(net, rng, a.innerParams(p), chunk, emit)
+}
+
+// ChunkSpan passes the component's span through under the scaled
+// params (amplification adds volume, not time).
+func (a amplifyScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	if a.n < 1 {
+		return 0, math.Inf(1)
+	}
+	return chunkSpan(a.inner, net, a.innerParams(p), chunk)
 }
 
 // Schedule passes the component's timeline through unchanged
@@ -518,6 +564,12 @@ func (r relabelScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int,
 		e.Dst = r.rename(e.Dst)
 		emit(e)
 	})
+}
+
+// ChunkSpan passes the component's span through unchanged
+// (relabeling moves hosts, not time).
+func (r relabelScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	return chunkSpan(r.inner, net, p, chunk)
 }
 
 // Schedule passes the component's timeline through unchanged
@@ -609,6 +661,14 @@ func (t timedScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int, e
 	return t.inner.Emit(net, rng, t.innerParams(p), chunk, emit)
 }
 
+// ChunkSpan reports the component's span at the pinned duration.
+func (t timedScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	if t.dur <= 0 || math.IsNaN(t.dur) || math.IsInf(t.dur, 0) {
+		return 0, math.Inf(1)
+	}
+	return chunkSpan(t.inner, net, t.innerParams(p), chunk)
+}
+
 // Schedule reports the component's timeline at the pinned duration.
 func (t timedScenario) Schedule(p Params) []Phase {
 	if sched, ok := t.inner.(Scheduler); ok {
@@ -643,6 +703,13 @@ func (n namedScenario) Description() string { return n.desc }
 // Components unwraps to the underlying scenario so mixture tooling
 // sees through the rename.
 func (n namedScenario) Components() []Scenario { return []Scenario{n.Scenario} }
+
+// ChunkSpan forwards the underlying scenario's time locality:
+// embedding the Scenario interface only promotes its declared
+// methods, so the optional span contract needs an explicit forward.
+func (n namedScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	return chunkSpan(n.Scenario, net, p, chunk)
+}
 
 // Schedule forwards the underlying scenario's ground truth.
 func (n namedScenario) Schedule(p Params) []Phase {

@@ -79,4 +79,19 @@
 // bit-identical on 1 worker or N. The legacy Background, Scan,
 // AttackScenario, and DDoSScenario functions are thin adapters
 // running the same scripts on one worker.
+//
+// # Streaming
+//
+// The batch entry points materialize everything before returning;
+// StreamTrace and StreamCSR are their bounded-memory siblings.
+// StreamTrace delivers the trace as chunk-ordered frames through a
+// back-pressured reorder ring; StreamCSR folds events straight into
+// an incremental per-window compactor and hands each window's CSR to
+// a callback the moment it seals — long before the run completes.
+// Sealing is driven by the optional ChunkSpanner interface
+// (conservative per-chunk time bounds; every catalog entry and
+// combinator implements it), and because a window's CSR is a pure
+// function of its event multiset, streamed windows are bit-identical
+// to Trace.WindowsCSR's for any worker count — pinned by the
+// streaming parity suite.
 package netsim

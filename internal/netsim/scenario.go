@@ -48,6 +48,21 @@ func secondSpan(p Params, chunk int) (start, end float64) {
 	return start, end
 }
 
+// replyLag pads the streaming time span of the second-sliced
+// scenarios: their request events stay inside the chunk's one-second
+// slot, but reply events trail the request by up to 0.02s and may
+// cross the slot (and window) boundary. The pad is deliberately
+// generous — a span only delays window sealing, it never changes the
+// traffic.
+const replyLag = 0.05
+
+// secondChunkSpan is the ChunkSpan of the second-sliced scenarios:
+// the chunk's slot padded by the reply lag.
+func secondChunkSpan(p Params, chunk int) (start, end float64) {
+	start, end = secondSpan(p, chunk)
+	return start, end + replyLag
+}
+
 // ——— background ———
 
 // backgroundScenario emits benign traffic: workstations talk to the
@@ -62,6 +77,10 @@ func (backgroundScenario) Description() string {
 func (backgroundScenario) Shape() string { return "benign blue/grey mesh" }
 
 func (backgroundScenario) Chunks(net *Network, p Params) int { return secondChunks(p) }
+
+func (backgroundScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	return secondChunkSpan(p, chunk)
+}
 
 func (backgroundScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int, emit func(Event)) error {
 	workstations := net.ByRole(RoleWorkstation)
@@ -368,6 +387,10 @@ func (exfilScenario) Shape() string { return "single dominant asymmetric blue→
 
 func (exfilScenario) Chunks(net *Network, p Params) int { return secondChunks(p) }
 
+func (exfilScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	return secondChunkSpan(p, chunk)
+}
+
 func (exfilScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int, emit func(Event)) error {
 	workstations := net.ByRole(RoleWorkstation)
 	externals := net.ByRole(RoleExternal)
@@ -411,6 +434,10 @@ func (flashCrowdScenario) Shape() string {
 }
 
 func (flashCrowdScenario) Chunks(net *Network, p Params) int { return secondChunks(p) }
+
+func (flashCrowdScenario) ChunkSpan(net *Network, p Params, chunk int) (float64, float64) {
+	return secondChunkSpan(p, chunk)
+}
 
 func (flashCrowdScenario) Emit(net *Network, rng *rand.Rand, p Params, chunk int, emit func(Event)) error {
 	servers := net.ByRole(RoleServer)

@@ -1,0 +1,347 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+)
+
+// The streaming generation engine. The batch engine (generator.go)
+// materializes every event before any analysis runs, so memory scales
+// with duration×rate and nothing is observable mid-run. The two entry
+// points here keep the same chunked determinism contract while
+// bounding memory by chunk and window size instead of trace size:
+//
+//   - StreamTrace delivers the event stream itself, chunk by chunk in
+//     chunk order, holding at most a small reorder ring of chunk
+//     buffers — the raw feed for consumers that want events, not
+//     matrices.
+//   - StreamCSR folds events straight into an incremental per-window
+//     compactor (matrix.WindowCompactor) and finalizes each window —
+//     sealed CSR, in order — as soon as every chunk that could touch
+//     it has finished, using the ChunkSpanner time-locality contract.
+//     Time-to-first-window drops from O(run) to O(window) for
+//     time-local scenarios.
+//
+// Determinism survives because a window's CSR is a pure function of
+// the event multiset that lands in it: chunks derive all randomness
+// from (seed, chunk), window membership depends only on each event's
+// own timestamp, and COO compaction sorts by coordinate and sums —
+// commutative — so any worker count and any arrival order compact to
+// bit-identical windows. The batch-vs-stream parity suite
+// (stream_test.go) pins this across the catalog, composed specs, and
+// workers 1/4/16.
+
+// TraceFrame is one in-order slice of a streamed trace: a run of
+// events from a single chunk, in that chunk's emission order. Frames
+// arrive in chunk order, so the concatenation of all frames equals
+// the batch engine's pre-sort trace exactly; a stable time sort of
+// the collected events reproduces GenerateTrace bit for bit.
+type TraceFrame struct {
+	// Chunk is the owning chunk's index.
+	Chunk int
+	// Events is the frame's slice of the chunk's emissions, at most
+	// the batch size handed to StreamTrace. The slice is only valid
+	// until the yield callback returns.
+	Events []Event
+}
+
+// StreamTrace generates the scenario and delivers its events through
+// yield as in-order frames without ever materializing the full trace:
+// workers generate chunks concurrently, a bounded reorder ring puts
+// the finished buffers back into chunk order, and a slow consumer
+// backpressures the producers, so peak memory is O(workers × chunk)
+// regardless of run length. batch caps the events per frame (≤ 0
+// delivers each chunk as one frame); empty chunks produce no frame.
+// A yield error or a cancelled ctx stops generation promptly and is
+// returned.
+func StreamTrace(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params, batch int, yield func(TraceFrame) error) error {
+	chunks, workers, pd, err := planRun(s, net, workers, p)
+	if err != nil {
+		return err
+	}
+	// The reorder ring: finished chunk buffers wait here until every
+	// earlier chunk has been delivered. Twice the worker count keeps
+	// workers busy across uneven chunk costs without growing the
+	// buffered set beyond O(workers).
+	ahead := 2 * workers
+	if ahead < 2 {
+		ahead = 2
+	}
+	type slot struct {
+		events []Event
+		ready  bool
+	}
+	ring := make([]slot, ahead)
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		frontier int // next chunk to deliver
+		next     int // next chunk to claim
+		firstErr error
+	)
+	// Cancellation must wake waiters parked on the cond var.
+	stopWake := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	defer stopWake()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for firstErr == nil && ctx.Err() == nil && next < chunks && next >= frontier+ahead {
+					cond.Wait()
+				}
+				if firstErr != nil || ctx.Err() != nil || next >= chunks {
+					mu.Unlock()
+					return
+				}
+				k := next
+				next++
+				mu.Unlock()
+
+				var buf []Event
+				if err := s.Emit(net, chunkRNG(seed, k), pd, k, func(e Event) { buf = append(buf, e) }); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+
+				mu.Lock()
+				ring[k%ahead] = slot{events: buf, ready: true}
+				// Drain the frontier while it is ready. Delivery happens
+				// under mu on purpose: a slow consumer stalls the ring,
+				// which stalls the claim loop — that is the memory bound.
+				for firstErr == nil && ctx.Err() == nil && frontier < chunks && ring[frontier%ahead].ready {
+					sl := &ring[frontier%ahead]
+					events := sl.events
+					chunk := frontier
+					*sl = slot{}
+					if err := yieldFrames(chunk, events, batch, yield); err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						break
+					}
+					frontier++
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// yieldFrames slices one chunk's events into batch-sized frames.
+func yieldFrames(chunk int, events []Event, batch int, yield func(TraceFrame) error) error {
+	if batch <= 0 || batch > len(events) {
+		batch = len(events)
+	}
+	for start := 0; start < len(events); start += batch {
+		end := start + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := yield(TraceFrame{Chunk: chunk, Events: events[start:end]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamCSR generates the scenario and streams its fixed-length
+// aggregation windows through onWindow, in order, each finalized —
+// compacted to CSR, builder storage released — the moment every
+// chunk whose time span overlaps it has completed. The sealed windows
+// are bit-identical to Trace.WindowsCSR over the batch trace with the
+// same windowLen and horizon, for any worker count. A horizon ≤ 0
+// uses the configured duration. The whole-run aggregate accumulates
+// in sharded COO alongside the fold (exactly GenerateMatrix) and is
+// returned as CSR with the run stats once the stream completes.
+// An onWindow error or a cancelled ctx stops generation at chunk
+// granularity and is returned; windows already delivered stay
+// delivered.
+func StreamCSR(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params, windowLen, horizon float64, onWindow func(index int, w SparseWindow) error) (*matrix.CSR, Stats, error) {
+	if windowLen <= 0 {
+		return nil, Stats{}, fmt.Errorf("netsim: window length must be positive, got %g", windowLen)
+	}
+	chunks, workers, pd, err := planRun(s, net, workers, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if horizon <= 0 {
+		horizon = pd.Duration
+	}
+	nw := int(math.Ceil(horizon / windowLen))
+	if nw < 1 {
+		nw = 1
+	}
+	n := net.Len()
+
+	// Resolve every chunk's conservative window range once, and count
+	// how many chunks can touch each window (difference array keeps
+	// this O(chunks + windows)). pending[w] hitting zero is the signal
+	// that window w is sealed.
+	lo := make([]int32, chunks)
+	hi := make([]int32, chunks)
+	diff := make([]int32, nw+1)
+	for k := 0; k < chunks; k++ {
+		start, end := chunkSpan(s, net, pd, k)
+		wlo := 0
+		if w, ok := windowIndex(start, windowLen, horizon, nw); ok {
+			wlo = w
+		}
+		whi := nw - 1
+		if w, ok := windowIndex(end, windowLen, horizon, nw); ok {
+			whi = w
+		}
+		if whi < wlo {
+			whi = wlo
+		}
+		lo[k], hi[k] = int32(wlo), int32(whi)
+		diff[wlo]++
+		diff[whi+1]--
+	}
+	pending := make([]atomic.Int32, nw)
+	run := int32(0)
+	for w := 0; w < nw; w++ {
+		run += diff[w]
+		pending[w].Store(run)
+	}
+
+	compactor := matrix.NewWindowCompactor(n, n, nw)
+	shards := make([]*matrix.COO, workers)
+	partial := make([]Stats, workers)
+	for w := range shards {
+		shards[w] = matrix.NewCOO(n, n)
+	}
+
+	var (
+		emitMu   sync.Mutex
+		frontier int
+	)
+	// advance seals and delivers every window at the frontier whose
+	// pending count has reached zero. Callers hold emitMu, so windows
+	// leave in strict index order no matter which worker advances.
+	advance := func() error {
+		for frontier < nw && pending[frontier].Load() == 0 {
+			csr, events, dropped := compactor.Seal(frontier)
+			start := float64(frontier) * windowLen
+			win := SparseWindow{
+				Start:   start,
+				End:     start + windowLen,
+				Matrix:  csr,
+				Events:  events,
+				Dropped: dropped,
+			}
+			if err := onWindow(frontier, win); err != nil {
+				return err
+			}
+			frontier++
+		}
+		return nil
+	}
+	// Windows no chunk can reach seal immediately (an empty leading
+	// window of a late-starting scenario streams out at t=0).
+	emitMu.Lock()
+	err = advance()
+	emitMu.Unlock()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	err = runChunks(ctx, chunks, workers, seed, func(w, k int, rng *rand.Rand) error {
+		acc, st := shards[w], &partial[w]
+		if err := s.Emit(net, rng, pd, k, func(e Event) {
+			st.Events++
+			st.Packets += e.Packets
+			i, iok := net.Index(e.Src)
+			j, jok := net.Index(e.Dst)
+			inAxis := iok && jok
+			if inAxis {
+				acc.Add(i, j, e.Packets)
+			} else {
+				st.Dropped += e.Packets
+			}
+			wi, ok := windowIndex(e.Time, windowLen, horizon, nw)
+			if !ok {
+				return
+			}
+			if wi < int(lo[k]) || wi > int(hi[k]) {
+				// The scenario emitted outside its declared span: the
+				// window may already be sealed and silently missing this
+				// event. Fail loudly — this is a ChunkSpanner bug.
+				panic(fmt.Sprintf("netsim: scenario %q chunk %d emitted t=%g into window %d outside its declared span [%d,%d]",
+					s.Name(), k, e.Time, wi, lo[k], hi[k]))
+			}
+			if inAxis {
+				compactor.Add(wi, i, j, e.Packets)
+				compactor.Note(wi, 1, 0)
+			} else {
+				compactor.Note(wi, 1, e.Packets)
+			}
+		}); err != nil {
+			return err
+		}
+		// The chunk is done: release its windows and flush any that
+		// sealed. Only a decrement that hits zero can move the
+		// frontier, so the lock is taken only then.
+		sealed := false
+		for w := lo[k]; w <= hi[k]; w++ {
+			if pending[w].Add(-1) == 0 {
+				sealed = true
+			}
+		}
+		if sealed {
+			emitMu.Lock()
+			err := advance()
+			emitMu.Unlock()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	// All chunks completed, so every pending count is zero: flush the
+	// tail (trailing windows whose chunks finished without a final
+	// zero-crossing of their own, plus trailing empties).
+	emitMu.Lock()
+	err = advance()
+	emitMu.Unlock()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	merged, err := matrix.MergeCOOContext(ctx, shards...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	for _, st := range partial {
+		stats.Events += st.Events
+		stats.Packets += st.Packets
+		stats.Dropped += st.Dropped
+	}
+	return merged.ToCSR(), stats, nil
+}
