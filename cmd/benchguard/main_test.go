@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseAllocsRawOutput(t *testing.T) {
+	p := writeTemp(t, "raw.txt", `
+goos: linux
+BenchmarkGenerateCold300-8         	       3	3597756477 ns/op	406286536 B/op	   11873 allocs/op
+BenchmarkCOOMerge/merge-sharded-8  	       3	  12345 ns/op	  100 B/op	   42 allocs/op
+PASS
+`)
+	got, err := parseAllocs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkGenerateCold300"] != 11873 {
+		t.Errorf("cold300 = %d, want 11873 (cpu suffix must strip)", got["BenchmarkGenerateCold300"])
+	}
+	if got["BenchmarkCOOMerge/merge-sharded"] != 42 {
+		t.Errorf("merge-sharded = %d, want 42", got["BenchmarkCOOMerge/merge-sharded"])
+	}
+}
+
+func TestParseAllocsTest2JSON(t *testing.T) {
+	// test2json splits one raw result line across Output events, and
+	// two packages' events can interleave; the parser must reassemble
+	// per package.
+	p := writeTemp(t, "stream.json", `
+{"Action":"output","Package":"repro","Output":"BenchmarkCOOMerge/merge-sharded\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkCOOMerge/merge-sharded         \t"}
+{"Action":"output","Package":"repro/internal/api","Output":"BenchmarkGenerateCold300-4 \t       3\t3597756477 ns/op\t406286536 B/op\t   11873 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"       3\t  12345 ns/op\t     100 B/op\t      42 allocs/op\n"}
+{"Action":"run","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t44.469s\n"}
+`)
+	got, err := parseAllocs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkGenerateCold300"] != 11873 {
+		t.Errorf("cold300 = %d, want 11873", got["BenchmarkGenerateCold300"])
+	}
+	if got["BenchmarkCOOMerge/merge-sharded"] != 42 {
+		t.Errorf("merge-sharded = %d, want 42 (split fragments must reassemble)", got["BenchmarkCOOMerge/merge-sharded"])
+	}
+}
+
+func TestParseAllocsIgnoresLinesWithoutBenchmem(t *testing.T) {
+	p := writeTemp(t, "nomem.txt", "BenchmarkNoMem-8\t10\t100 ns/op\n")
+	got, err := parseAllocs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from a run without -benchmem", got)
+	}
+}

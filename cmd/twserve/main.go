@@ -54,11 +54,7 @@ func main() {
 	flag.Parse()
 
 	svc := api.New(api.WithCacheCapacity(*cacheCap), api.WithDefaultWorkers(*workers))
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newMux(svc),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newServer(*addr, newMux(svc))
 
 	// Serve until interrupted, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,6 +78,28 @@ func main() {
 // paper's sizes is a few KB, so 8 MiB leaves room for large posted
 // matrices without inviting abuse.
 const maxBodyBytes = 8 << 20
+
+// newServer builds the hardened http.Server. Split from main so the
+// test suite can assert the timeout posture.
+func newServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:    addr,
+		Handler: h,
+		// A client trickling its headers or body must not pin a
+		// connection forever; idle keep-alives recycle after two
+		// minutes. ReadTimeout comfortably covers an 8 MiB body on a
+		// slow classroom link.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		// WriteTimeout is deliberately absent: it clocks from the end
+		// of the request headers, and the streaming route legitimately
+		// writes frames for as long as a big run takes — a fixed write
+		// deadline would sever healthy long streams. Slow or hung
+		// batch readers are bounded by the request context instead
+		// (client hangup cancels end to end).
+	}
+}
 
 // newMux builds the route table over a service. Split from main so
 // the test suite can drive the full HTTP surface through httptest.
@@ -259,9 +277,10 @@ func httpError(w http.ResponseWriter, code int, err error) {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	// api.WriteJSON encodes through a pooled buffer and reaches the
+	// socket in one Write — a large generate result no longer
+	// allocates a fresh multi-megabyte encode buffer per response.
+	if err := api.WriteJSON(w, v); err != nil {
 		// Headers are gone; nothing to do but log.
 		log.Printf("twserve: encode response: %v", err)
 	}

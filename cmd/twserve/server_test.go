@@ -1,0 +1,30 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServerTimeoutPosture pins the listener hardening: slow-header,
+// slow-body, and idle connections are all bounded, while WriteTimeout
+// stays unset because the streaming route writes for as long as a
+// run takes and a write deadline would sever healthy long streams.
+func TestServerTimeoutPosture(t *testing.T) {
+	srv := newServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout != 10*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 10s", srv.ReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != 30*time.Second {
+		t.Errorf("ReadTimeout = %v, want 30s", srv.ReadTimeout)
+	}
+	if srv.IdleTimeout != 120*time.Second {
+		t.Errorf("IdleTimeout = %v, want 120s", srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v; must stay unset for the streaming route", srv.WriteTimeout)
+	}
+	if srv.Addr != ":0" {
+		t.Errorf("Addr = %q", srv.Addr)
+	}
+}

@@ -26,6 +26,46 @@ func BenchmarkGenerateCold(b *testing.B) {
 	}
 }
 
+// cold300Request is the PR 7 acceptance workload: the in-process cold
+// generate path on a 300-host network, 1.2M-event budget, windowed.
+// Workers are pinned so the measurement is machine-independent.
+func cold300Request() GenerateRequest {
+	return NewGenerateRequest("background",
+		WithSeed(7), WithHosts(300), WithWorkers(4), WithParams(600, 2000, 1), WithWindow(10))
+}
+
+// benchCold300 measures steady-state cold generation on one service:
+// the cache is disabled so every iteration runs the whole
+// generate→merge→compact pipeline, and one priming request runs
+// before the timer so a pooled service is measured with warm arenas
+// (the steady state a served process lives in) rather than on its
+// very first fill.
+func benchCold300(b *testing.B, opts ...Option) {
+	svc := New(append([]Option{WithCacheCapacity(0)}, opts...)...)
+	req := cold300Request()
+	if _, err := svc.Generate(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Generate(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateCold300 is the pooled acceptance benchmark: its
+// allocs/op against BenchmarkGenerateCold300Unpooled is the measured
+// win, and its committed BENCH_PR7.json value is the CI regression
+// gate.
+func BenchmarkGenerateCold300(b *testing.B) { benchCold300(b) }
+
+// BenchmarkGenerateCold300Unpooled is the same workload with the
+// arena disabled: the pre-PR 7 allocation behaviour, kept runnable so
+// the pooled/unpooled gap stays measurable on any machine.
+func BenchmarkGenerateCold300Unpooled(b *testing.B) { benchCold300(b, WithoutPooling()) }
+
 // BenchmarkGenerateCacheHit measures the classroom hot path: one
 // service, primed once, then repeated identical requests.
 func BenchmarkGenerateCacheHit(b *testing.B) {

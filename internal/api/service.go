@@ -23,11 +23,21 @@ const DefaultCacheCapacity = 64
 // command invocation (the CLIs). All methods are safe for concurrent
 // use.
 type Service struct {
-	cacheCap int
-	workers  int
-	cache    *lruCache
-	sessions *sessionRegistry
-	flights  flightGroup
+	cacheCap  int
+	workers   int
+	noPooling bool
+	cache     *lruCache
+	sessions  *sessionRegistry
+	flights   flightGroup
+	// arena pools the generation pipeline's builder storage across
+	// requests (nil when pooling is disabled — every netsim arena
+	// entry point treats a nil arena as "allocate fresh", and the two
+	// modes are bit-identical; see the pooled-vs-reference property
+	// suite). Results handed to callers never alias arena storage:
+	// CSR outputs are always freshly allocated, which is what lets
+	// the LRU cache hold them forever without the arena ever
+	// reclaiming a cached buffer.
+	arena *netsim.Arena
 }
 
 // Option configures a Service under construction.
@@ -41,6 +51,12 @@ func WithCacheCapacity(n int) Option { return func(s *Service) { s.cacheCap = n 
 // leaves Workers at 0 (which otherwise selects all CPUs).
 func WithDefaultWorkers(n int) Option { return func(s *Service) { s.workers = n } }
 
+// WithoutPooling disables the buffer arena: every request allocates
+// fresh, exactly the pre-arena behaviour. The output is bit-identical
+// either way; the option exists for A/B benchmarking and as the
+// reference side of the pooling parity suite.
+func WithoutPooling() Option { return func(s *Service) { s.noPooling = true } }
+
 // New builds a Service with the given options.
 func New(opts ...Option) *Service {
 	s := &Service{cacheCap: DefaultCacheCapacity}
@@ -49,11 +65,18 @@ func New(opts ...Option) *Service {
 	}
 	s.cache = newLRUCache(s.cacheCap)
 	s.sessions = newSessionRegistry()
+	if !s.noPooling {
+		s.arena = netsim.NewArena()
+	}
 	return s
 }
 
 // CacheStats snapshots the result cache counters.
 func (svc *Service) CacheStats() CacheStats { return svc.cache.stats() }
+
+// ArenaStats snapshots the buffer arena's pool counters (zero when
+// pooling is disabled).
+func (svc *Service) ArenaStats() netsim.ArenaStats { return svc.arena.Stats() }
 
 // Sessions snapshots the in-flight requests, oldest first.
 func (svc *Service) Sessions() []SessionInfo { return svc.sessions.snapshot() }
@@ -117,17 +140,48 @@ func (svc *Service) Generate(ctx context.Context, req GenerateRequest) (*Generat
 // demand so the cached value itself stays encoding-neutral — two
 // requests differing only in IncludeMatrices share one entry and
 // each still gets exactly what it asked for.
+//
+// The view defensively copies every mutable header the cached value
+// owns — label and schedule slices, the window list with its Reading
+// and Hub pointers, the mixture readings. A warm hit used to alias
+// them straight out of the cache, so one caller appending to Labels
+// or rewriting a window's AttackStage silently corrupted every later
+// response for the same key. The CSR matrices stay shared on purpose:
+// they are the immutable bulk, never reclaimed or rewritten (the
+// arena never pools CSR storage — a cached buffer is permanently the
+// cache's), so sharing them is safe where sharing the headers was
+// not.
 func finishResult(res *GenerateResult, hit, includeMatrices bool) *GenerateResult {
 	out := *res
 	out.CacheHit = hit
-	if includeMatrices {
-		out.Cells = out.AggregateCSR.ToDense().ToRows()
+	out.Labels = append([]string(nil), res.Labels...)
+	out.Schedule = append([]Phase(nil), res.Schedule...)
+	out.ComposedOf = append([]string(nil), res.ComposedOf...)
+	out.Aggregate.Mixture = append([]Reading(nil), res.Aggregate.Mixture...)
+	if len(res.Windows) > 0 {
 		ws := make([]WindowResult, len(res.Windows))
 		copy(ws, res.Windows)
 		for i := range ws {
-			ws[i].Cells = ws[i].Matrix.ToDense().ToRows()
+			if r := ws[i].AttackStage; r != nil {
+				cp := *r
+				ws[i].AttackStage = &cp
+			}
+			if r := ws[i].DDoS; r != nil {
+				cp := *r
+				ws[i].DDoS = &cp
+			}
+			if h := ws[i].Hub; h != nil {
+				cp := *h
+				ws[i].Hub = &cp
+			}
 		}
 		out.Windows = ws
+	}
+	if includeMatrices {
+		out.Cells = out.AggregateCSR.ToDense().ToRows()
+		for i := range out.Windows {
+			out.Windows[i].Cells = out.Windows[i].Matrix.ToDense().ToRows()
+		}
 	}
 	return &out
 }
@@ -142,7 +196,7 @@ func (svc *Service) generate(ctx context.Context, scn netsim.Scenario, canonical
 	p := req.params().Normalized()
 
 	genStart := time.Now()
-	trace, err := netsim.GenerateTraceContext(ctx, scn, net, req.Seed, workers, p)
+	trace, err := netsim.GenerateTraceArena(ctx, svc.arena, scn, net, req.Seed, workers, p)
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +229,9 @@ func (svc *Service) generate(ctx context.Context, scn netsim.Scenario, canonical
 	}
 
 	if req.Window > 0 {
-		windows, err := trace.WindowsCSRContext(ctx, net, req.Window, p.Duration)
+		windows, err := trace.WindowsCSRArena(ctx, svc.arena, net, req.Window, p.Duration)
 		if err != nil {
+			svc.arena.ReleaseTrace(trace)
 			return nil, err
 		}
 		roles, rolesErr := patterns.AssignDDoSRoles(zones)
@@ -190,8 +245,12 @@ func (svc *Service) generate(ctx context.Context, scn netsim.Scenario, canonical
 	// fold into a CSR, analyzed through the accessor interface — no
 	// dense n² materialization.
 	aggStart := time.Now()
-	csr, _ := trace.SparseMatrix(net)
+	csr, _ := trace.SparseMatrixArena(svc.arena, net)
 	aggElapsed := time.Since(aggStart)
+	// The sparse fold was the trace's last reader: every value derived
+	// from it (event counts, window CSRs, the aggregate CSR) owns its
+	// own storage, so the trace slab can recycle for the next request.
+	svc.arena.ReleaseTrace(trace)
 	analyzeStart := time.Now()
 	res.Aggregate = analyzeMatrix(csr, zones)
 	analyzeElapsed := time.Since(analyzeStart)

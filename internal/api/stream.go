@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -132,20 +133,25 @@ func (f StreamFrame) validate() error {
 // the cap matches twserve's request body bound.
 const MaxFrameBytes = 8 << 20
 
-// EncodeFrame writes one frame as a single NDJSON line.
+// EncodeFrame writes one frame as a single NDJSON line through a
+// pooled buffer: the line (json.Encoder appends the newline itself)
+// is validated, bounded, and handed to the writer in one Write, and
+// the buffer recycles for the next frame instead of becoming
+// per-frame garbage.
 func EncodeFrame(w io.Writer, f StreamFrame) error {
 	if err := f.validate(); err != nil {
 		return err
 	}
-	b, err := json.Marshal(f)
-	if err != nil {
+	we := getWireEncoder()
+	defer putWireEncoder(we)
+	we.enc.SetIndent("", "")
+	if err := we.enc.Encode(f); err != nil {
 		return err
 	}
-	if len(b)+1 > MaxFrameBytes {
-		return fmt.Errorf("api: frame of %d bytes exceeds the %d limit", len(b)+1, MaxFrameBytes)
+	if we.buf.Len() > MaxFrameBytes {
+		return fmt.Errorf("api: frame of %d bytes exceeds the %d limit", we.buf.Len(), MaxFrameBytes)
 	}
-	b = append(b, '\n')
-	_, err = w.Write(b)
+	_, err := w.Write(we.buf.Bytes())
 	return err
 }
 
@@ -229,6 +235,26 @@ func (svc *Service) GenerateStream(ctx context.Context, req GenerateRequest, emi
 
 	fctx, sess := svc.sessions.begin(ctx, "stream", req.cacheKey(canonical, net.Len()))
 	defer svc.sessions.end(sess)
+	// A consumer that fails mid-stream (hangup, encode error) must
+	// stop the generation workers promptly, not just surface an error
+	// after they finish the run: cancel the run's context on the first
+	// emit failure, and refuse every later frame so nothing is emitted
+	// after a failure — the regression the post-first-frame error test
+	// pins.
+	sctx, cancel := context.WithCancelCause(fctx)
+	defer cancel(nil)
+	var emitFailed atomic.Bool
+	send := func(f StreamFrame) error {
+		if emitFailed.Load() {
+			return context.Cause(sctx)
+		}
+		if err := emit(f); err != nil {
+			emitFailed.Store(true)
+			cancel(err)
+			return err
+		}
+		return nil
+	}
 
 	nw := int(math.Ceil(p.Duration / req.Window))
 	if nw < 1 {
@@ -250,22 +276,28 @@ func (svc *Service) GenerateStream(ctx context.Context, req GenerateRequest, emi
 			meta.ComposedOf = append(meta.ComposedOf, leaf.Name())
 		}
 	}
-	if err := emit(StreamFrame{Type: FrameMeta, Meta: meta}); err != nil {
+	if err := send(StreamFrame{Type: FrameMeta, Meta: meta}); err != nil {
 		return sessionErr(fctx, err)
 	}
 
 	roles, rolesErr := patterns.AssignDDoSRoles(zones)
 	labels := net.Labels()
 	genStart := time.Now()
-	csr, stats, err := netsim.StreamCSR(fctx, scn, net, req.Seed, workers, p, req.Window, p.Duration,
+	csr, stats, err := netsim.StreamCSRArena(sctx, svc.arena, scn, net, req.Seed, workers, p, req.Window, p.Duration,
 		func(k int, w netsim.SparseWindow) error {
 			wr := windowResult(k, w, zones, roles, rolesErr, labels)
 			if req.IncludeMatrices {
 				wr.Cells = wr.Matrix.ToDense().ToRows()
 			}
-			return emit(StreamFrame{Type: FrameWindow, Window: &wr})
+			return send(StreamFrame{Type: FrameWindow, Window: &wr})
 		})
 	if err != nil {
+		// A run stopped by an emit failure reports the consumer's
+		// error, not the context.Canceled our own cancel induced —
+		// whichever of the two surfaced first from the worker pool.
+		if emitFailed.Load() {
+			err = context.Cause(sctx)
+		}
 		return sessionErr(fctx, err)
 	}
 	genElapsed := time.Since(genStart)
@@ -277,5 +309,5 @@ func (svc *Service) GenerateStream(ctx context.Context, req GenerateRequest, emi
 		Events: stats.Events, Packets: stats.Packets, Aggregate: agg,
 		Timings: Timings{Generate: genElapsed, Analyze: analyzeElapsed},
 	}
-	return sessionErr(fctx, emit(StreamFrame{Type: FrameSummary, Summary: summary}))
+	return sessionErr(fctx, send(StreamFrame{Type: FrameSummary, Summary: summary}))
 }

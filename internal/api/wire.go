@@ -1,0 +1,63 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Pooled wire encoding. Large /v1/generate responses and stream
+// frames used to marshal into a fresh byte slice per call — for a
+// 300-host windowed result that is megabytes of garbage per request.
+// The encoders here marshal into pooled buffers and hand the bytes to
+// the writer in a single Write, so the serve path's steady-state
+// encoding cost is the copy onto the socket, not the allocation.
+//
+// The buffers live in a sync.Pool (unlike the generation arenas'
+// explicit free-lists): encode buffers are not part of the
+// deterministic allocs/op CI gate, and GC-mediated retention is
+// exactly right for bursty response sizes.
+
+// maxPooledEncodeBytes bounds what a drained encode buffer may retain
+// when refiled: a rare oversized response should not pin megabytes in
+// the pool forever.
+const maxPooledEncodeBytes = 1 << 20
+
+type wireEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var wirePool = sync.Pool{New: func() any {
+	we := &wireEncoder{}
+	we.enc = json.NewEncoder(&we.buf)
+	return we
+}}
+
+func getWireEncoder() *wireEncoder {
+	we := wirePool.Get().(*wireEncoder)
+	we.buf.Reset()
+	return we
+}
+
+func putWireEncoder(we *wireEncoder) {
+	if we.buf.Cap() > maxPooledEncodeBytes {
+		return
+	}
+	wirePool.Put(we)
+}
+
+// WriteJSON encodes v as two-space-indented JSON followed by a
+// newline (the twserve response format) through a pooled buffer,
+// reaching the writer in a single Write call.
+func WriteJSON(w io.Writer, v any) error {
+	we := getWireEncoder()
+	defer putWireEncoder(we)
+	we.enc.SetIndent("", "  ")
+	if err := we.enc.Encode(v); err != nil {
+		return err
+	}
+	_, err := w.Write(we.buf.Bytes())
+	return err
+}

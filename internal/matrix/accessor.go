@@ -48,3 +48,41 @@ func (m *Dense) Row(i int, fn func(j, v int)) {
 		}
 	}
 }
+
+// EachStored calls fn for every stored non-zero entry (i, j, v) in
+// row-major, increasing-column order — the same visit order a
+// Row loop produces.
+//
+// This is the allocation-discipline entry point for full-matrix
+// scans: a naive `for i { m.Row(i, func(j, v int) {...}) }` loop
+// builds a fresh closure per row (the closure captures the loop
+// variable), which on the served per-window classifier path turned
+// closure construction into the dominant allocation source. Here the
+// concrete representations are walked directly with no closure at
+// all, and the interface fallback hoists a single closure out of the
+// loop, so one scan costs O(1) allocations regardless of n.
+func EachStored(m Matrix, fn func(i, j, v int)) {
+	switch t := m.(type) {
+	case *CSR:
+		for i := 0; i < t.rows; i++ {
+			for k := t.rowPtr[i]; k < t.rowPtr[i+1]; k++ {
+				fn(i, t.colIdx[k], t.vals[k])
+			}
+		}
+	case *Dense:
+		for i := 0; i < t.rows; i++ {
+			base := i * t.cols
+			for j := 0; j < t.cols; j++ {
+				if v := t.data[base+j]; v != 0 {
+					fn(i, j, v)
+				}
+			}
+		}
+	default:
+		i := 0
+		row := func(j, v int) { fn(i, j, v) }
+		for i = 0; i < m.Rows(); i++ {
+			m.Row(i, row)
+		}
+	}
+}

@@ -59,32 +59,30 @@ func ProfileOf(m Matrix) Profile {
 		InFan:     make([]int, n),
 		Symmetric: true,
 	}
-	for i := 0; i < n; i++ {
-		m.Row(i, func(j, v int) {
-			if v > p.MaxEntry {
-				p.MaxEntry = v
+	EachStored(m, func(i, j, v int) {
+		if v > p.MaxEntry {
+			p.MaxEntry = v
+		}
+		p.OutFan[i]++
+		p.InFan[j]++
+		if i == j {
+			p.DiagNNZ++
+			return
+		}
+		// One transposed lookup settles both symmetry and (for
+		// the upper triangle) reciprocity. Lower-triangle entries
+		// only matter for symmetry, so skip their lookup once
+		// asymmetry is established.
+		if i < j || p.Symmetric {
+			r := m.At(j, i)
+			if r != v {
+				p.Symmetric = false
 			}
-			p.OutFan[i]++
-			p.InFan[j]++
-			if i == j {
-				p.DiagNNZ++
-				return
+			if i < j && r != 0 {
+				p.Reciprocal++
 			}
-			// One transposed lookup settles both symmetry and (for
-			// the upper triangle) reciprocity. Lower-triangle entries
-			// only matter for symmetry, so skip their lookup once
-			// asymmetry is established.
-			if i < j || p.Symmetric {
-				r := m.At(j, i)
-				if r != v {
-					p.Symmetric = false
-				}
-				if i < j && r != 0 {
-					p.Reciprocal++
-				}
-			}
-		})
-	}
+		}
+	})
 	p.OffDiagNNZ = p.NNZ - p.DiagNNZ
 	for i := 0; i < n; i++ {
 		if p.OutFan[i] > p.MaxOutFan {
@@ -132,12 +130,10 @@ func SupernodesOf(m Matrix, minFan int) []HotSpot {
 	}
 	rowSums := make([]int, p.N)
 	colSums := make([]int, p.N)
-	for i := 0; i < p.N; i++ {
-		m.Row(i, func(j, v int) {
-			rowSums[i] += v
-			colSums[j] += v
-		})
-	}
+	EachStored(m, func(i, j, v int) {
+		rowSums[i] += v
+		colSums[j] += v
+	})
 	var hits []HotSpot
 	for i := 0; i < p.N; i++ {
 		if p.OutFan[i] >= minFan {
@@ -194,15 +190,13 @@ func IsolatedPairsOf(m Matrix) [][2]int {
 			peer[v] = manyPeer
 		}
 	}
-	for i := 0; i < n; i++ {
-		m.Row(i, func(j, _ int) {
-			if i == j {
-				return
-			}
-			note(i, j)
-			note(j, i)
-		})
-	}
+	EachStored(m, func(i, j, _ int) {
+		if i == j {
+			return
+		}
+		note(i, j)
+		note(j, i)
+	})
 	var pairs [][2]int
 	for i := 0; i < n; i++ {
 		if j := peer[i]; j > i && peer[j] == i {
@@ -248,12 +242,10 @@ func TopLinks(m *Dense, k int) []Entry { return TopLinksOf(m, k) }
 // decreasing value order (ties broken by row then col). Useful for
 // "which link dominates this matrix?" quiz content.
 func TopLinksOf(m Matrix, k int) []Entry {
-	var all []Entry
-	for i := 0; i < m.Rows(); i++ {
-		m.Row(i, func(j, v int) {
-			all = append(all, Entry{Row: i, Col: j, Val: v})
-		})
-	}
+	all := make([]Entry, 0, m.NNZ())
+	EachStored(m, func(i, j, v int) {
+		all = append(all, Entry{Row: i, Col: j, Val: v})
+	})
 	sort.Slice(all, func(a, b int) bool {
 		if all[a].Val != all[b].Val {
 			return all[a].Val > all[b].Val

@@ -87,7 +87,12 @@ func (h *runHeap) Pop() interface{} {
 
 // mergeRuns k-way merges sorted runs into one deduplicated,
 // zero-free, row-major slice. Duplicate coordinates sum.
-func mergeRuns(runs [][]Entry) []Entry {
+func mergeRuns(runs [][]Entry) []Entry { return mergeRunsIn(nil, runs) }
+
+// mergeRunsIn is mergeRuns with the output slab taken from an arena
+// (nil allocates fresh). The output never aliases a run: every entry
+// is copied, so the runs' own slabs may be released afterwards.
+func mergeRunsIn(a *Arena, runs [][]Entry) []Entry {
 	nonEmpty := runs[:0]
 	total := 0
 	for _, r := range runs {
@@ -101,9 +106,9 @@ func mergeRuns(runs [][]Entry) []Entry {
 	case 0:
 		return nil
 	case 1:
-		return dedupSorted(append([]Entry(nil), runs[0]...))
+		return dedupSorted(append(a.GetEntries(total), runs[0]...))
 	}
-	out := make([]Entry, 0, total)
+	out := a.GetEntries(total)
 	h := &runHeap{runs: runs}
 	heap.Init(h)
 	for h.Len() > 0 {
@@ -166,6 +171,16 @@ func MergeCOO(parts ...*COO) (*COO, error) {
 // un-compacted triples, so a retry on a fresh context merges the same
 // data.
 func MergeCOOContext(ctx context.Context, parts ...*COO) (*COO, error) {
+	return MergeCOOArena(ctx, nil, parts...)
+}
+
+// MergeCOOArena is MergeCOOContext with the merged output's triple
+// storage taken from the arena (nil allocates fresh — identical to
+// MergeCOOContext). The output copies every triple and never aliases
+// a part's storage, so on success the caller may Release the parts;
+// the parts themselves are only compacted, never released, here —
+// a cancelled merge leaves them intact for a retry.
+func MergeCOOArena(ctx context.Context, a *Arena, parts ...*COO) (*COO, error) {
 	var live []*COO
 	for _, p := range parts {
 		if p != nil {
@@ -201,7 +216,8 @@ func MergeCOOContext(ctx context.Context, parts ...*COO) (*COO, error) {
 		runs[i] = p.entries
 	}
 	out := NewCOO(rows, cols)
-	out.entries = mergeRuns(runs)
+	out.arena = a
+	out.entries = mergeRunsIn(a, runs)
 	out.compacted = true
 	return out, nil
 }

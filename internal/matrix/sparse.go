@@ -22,6 +22,12 @@ type COO struct {
 	// free, and zero free, letting Compact (and therefore ToCSR on a
 	// freshly merged matrix) skip the O(E log E) re-sort.
 	compacted bool
+	// arena, when non-nil, owns the builder storage: Release files
+	// entries back onto its free-list instead of leaving them to the
+	// GC. released marks the storage gone — further use panics, so a
+	// lifecycle bug fails loudly instead of corrupting a pooled slab.
+	arena    *Arena
+	released bool
 }
 
 // NewCOO returns an empty rows×cols COO matrix.
@@ -30,6 +36,44 @@ func NewCOO(rows, cols int) *COO {
 		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
 	}
 	return &COO{rows: rows, cols: cols}
+}
+
+// NewCOOIn returns an empty rows×cols COO matrix whose triple
+// storage comes from the arena (capHint pre-sizes the slab request).
+// A nil arena makes it equivalent to NewCOO. The caller must Release
+// the matrix once its triples are provably unreachable.
+func NewCOOIn(a *Arena, rows, cols, capHint int) *COO {
+	c := NewCOO(rows, cols)
+	c.arena = a
+	if a != nil {
+		c.entries = a.GetEntries(capHint)
+	}
+	return c
+}
+
+// Release returns the builder storage to the arena and marks the
+// matrix dead: any later Add, Compact, Entries, or ToCSR panics.
+// Release is idempotent and a no-op for arena-less matrices' storage
+// (the slab simply stays with the GC), so cleanup paths can call it
+// unconditionally.
+func (c *COO) Release() {
+	if c.released {
+		return
+	}
+	c.released = true
+	if c.arena != nil {
+		c.arena.PutEntries(c.entries)
+	}
+	c.entries = nil
+	c.compacted = false
+}
+
+// checkLive panics on use-after-Release — the loud failure that
+// keeps an aliased pooled slab from silently corrupting a matrix.
+func (c *COO) checkLive() {
+	if c.released {
+		panic("matrix: use of released COO")
+	}
 }
 
 // Rows returns the number of rows.
@@ -48,6 +92,7 @@ func (c *COO) Add(i, j, v int) {
 	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
 		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
 	}
+	c.checkLive()
 	c.entries = append(c.entries, Entry{Row: i, Col: j, Val: v})
 	c.compacted = false
 }
@@ -56,6 +101,7 @@ func (c *COO) Add(i, j, v int) {
 // in place, dropping resulting zeros. It returns the receiver for
 // chaining.
 func (c *COO) Compact() *COO {
+	c.checkLive()
 	if c.compacted || len(c.entries) == 0 {
 		return c
 	}
@@ -67,6 +113,7 @@ func (c *COO) Compact() *COO {
 
 // Entries returns a copy of the stored triples.
 func (c *COO) Entries() []Entry {
+	c.checkLive()
 	out := make([]Entry, len(c.entries))
 	copy(out, c.entries)
 	return out
@@ -107,7 +154,10 @@ type CSR struct {
 	vals       []int
 }
 
-// ToCSR compacts the COO matrix and converts it to CSR.
+// ToCSR compacts the COO matrix and converts it to CSR. The CSR's
+// arrays are always freshly allocated — never arena storage — because
+// CSR results outlive the request that built them (the LRU cache and
+// stream frames alias them); see the ownership rules in arena.go.
 func (c *COO) ToCSR() *CSR {
 	c.Compact()
 	m := &CSR{

@@ -31,11 +31,25 @@ type WindowCompactor struct {
 	events     []int
 	extra      []int
 	sealed     []bool
+	// arena, when non-nil, supplies each window shard's builder
+	// storage (sized by hint triples) and receives it back on Seal —
+	// the sealed CSR itself is always freshly allocated and belongs
+	// to the consumer.
+	arena *Arena
+	hint  int
 }
 
 // NewWindowCompactor builds a compactor for `windows` aggregation
 // intervals over rows×cols matrices.
 func NewWindowCompactor(rows, cols, windows int) *WindowCompactor {
+	return NewWindowCompactorArena(nil, rows, cols, windows, 0)
+}
+
+// NewWindowCompactorArena is NewWindowCompactor with the per-window
+// builder storage pooled in an arena. hint pre-sizes each window's
+// slab request (typically the request's event budget divided by the
+// window count); a nil arena makes both extra parameters moot.
+func NewWindowCompactorArena(a *Arena, rows, cols, windows, hint int) *WindowCompactor {
 	if windows < 0 {
 		panic(fmt.Sprintf("matrix: negative window count %d", windows))
 	}
@@ -47,6 +61,8 @@ func NewWindowCompactor(rows, cols, windows int) *WindowCompactor {
 		events: make([]int, windows),
 		extra:  make([]int, windows),
 		sealed: make([]bool, windows),
+		arena:  a,
+		hint:   hint,
 	}
 }
 
@@ -62,7 +78,7 @@ func (wc *WindowCompactor) Add(w, i, j, v int) {
 		panic(fmt.Sprintf("matrix: Add to sealed window %d", w))
 	}
 	if wc.shards[w] == nil {
-		wc.shards[w] = NewCOO(wc.rows, wc.cols)
+		wc.shards[w] = NewCOOIn(wc.arena, wc.rows, wc.cols, wc.hint)
 	}
 	wc.shards[w].Add(i, j, v)
 }
@@ -81,10 +97,11 @@ func (wc *WindowCompactor) Note(w, events, extra int) {
 	wc.extra[w] += extra
 }
 
-// Seal compacts window w to CSR, releases its builder storage, and
-// returns the matrix with the window's noted tallies. Sealing twice
-// panics: a sealed window's data is gone, and handing out an empty
-// matrix in its place would silently corrupt a stream.
+// Seal compacts window w to CSR, releases its builder storage (into
+// the arena, when the compactor has one), and returns the matrix
+// with the window's noted tallies. Sealing twice panics: a sealed
+// window's data is gone, and handing out an empty matrix in its
+// place would silently corrupt a stream.
 func (wc *WindowCompactor) Seal(w int) (m *CSR, events, extra int) {
 	wc.locks[w].Lock()
 	defer wc.locks[w].Unlock()
@@ -97,7 +114,9 @@ func (wc *WindowCompactor) Seal(w int) (m *CSR, events, extra int) {
 	if shard == nil {
 		shard = NewCOO(wc.rows, wc.cols)
 	}
-	return shard.ToCSR(), wc.events[w], wc.extra[w]
+	csr := shard.ToCSR()
+	shard.Release()
+	return csr, wc.events[w], wc.extra[w]
 }
 
 // PendingNNZ reports the total un-compacted triples currently

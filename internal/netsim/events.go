@@ -83,8 +83,18 @@ func (t Trace) Matrix(net *Network) (*matrix.Dense, int) {
 // followed by compaction. Events naming unknown hosts are counted in
 // the returned dropped packet total, mirroring Matrix.
 func (t Trace) SparseMatrix(net *Network) (*matrix.CSR, int) {
+	return t.SparseMatrixArena(nil, net)
+}
+
+// SparseMatrixArena is SparseMatrix with the COO accumulator's
+// storage pooled in an arena (nil allocates fresh — identical output
+// either way). The accumulator is pre-sized to the trace length and
+// released before returning; the CSR's arrays are freshly allocated
+// and the caller's forever.
+func (t Trace) SparseMatrixArena(a *Arena, net *Network) (*matrix.CSR, int) {
 	n := net.Len()
-	c := matrix.NewCOO(n, n)
+	hint := divHint(len(t), 1)
+	c := matrix.NewCOOIn(a.Matrix(), n, n, hint)
 	dropped := 0
 	for _, e := range t {
 		i, iok := net.Index(e.Src)
@@ -95,7 +105,9 @@ func (t Trace) SparseMatrix(net *Network) (*matrix.CSR, int) {
 		}
 		c.Add(i, j, e.Packets)
 	}
-	return c.ToCSR(), dropped
+	csr := c.ToCSR()
+	c.Release()
+	return csr, dropped
 }
 
 // Window is one aggregation interval with its traffic matrix.

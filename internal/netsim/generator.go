@@ -132,29 +132,50 @@ func GenerateTrace(s Scenario, net *Network, seed int64, workers int, p Params) 
 // is cancelled mid-run the worker pool stops claiming chunks and the
 // context's error is returned instead of a partial trace.
 func GenerateTraceContext(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params) (Trace, error) {
+	return GenerateTraceArena(ctx, nil, s, net, seed, workers, p)
+}
+
+// GenerateTraceArena is GenerateTraceContext with the chunk buffers
+// and the trace's backing slab pooled in an arena (nil allocates
+// fresh — identical output either way). Chunk buffers recycle as soon
+// as they are concatenated; the returned trace's slab belongs to the
+// caller, who should hand it back with Arena.ReleaseTrace once every
+// view of the trace is dead.
+func GenerateTraceArena(ctx context.Context, a *Arena, s Scenario, net *Network, seed int64, workers int, p Params) (Trace, error) {
 	chunks, workers, pd, err := planRun(s, net, workers, p)
 	if err != nil {
 		return nil, err
 	}
+	hint := divHint(eventBudget(pd), chunks)
 	perChunk := make([][]Event, chunks)
 	err = runChunks(ctx, chunks, workers, seed, func(_, k int, rng *rand.Rand) error {
-		var buf []Event
+		buf := a.GetEvents(hint)
 		if err := s.Emit(net, rng, pd, k, func(e Event) { buf = append(buf, e) }); err != nil {
+			a.PutEvents(buf)
 			return err
 		}
 		perChunk[k] = buf
 		return nil
 	})
 	if err != nil {
+		for _, buf := range perChunk {
+			a.PutEvents(buf)
+		}
 		return nil, err
 	}
 	total := 0
 	for _, buf := range perChunk {
 		total += len(buf)
 	}
-	trace := make(Trace, 0, total)
+	var trace Trace
+	if a != nil {
+		trace = Trace(a.GetEvents(total))
+	} else {
+		trace = make(Trace, 0, total)
+	}
 	for _, buf := range perChunk {
 		trace = append(trace, buf...)
+		a.PutEvents(buf)
 	}
 	trace.Sort()
 	return trace, nil
@@ -177,15 +198,26 @@ func GenerateMatrix(s Scenario, net *Network, seed int64, workers int, p Params)
 // when ctx is cancelled, and the final shard merge
 // (matrix.MergeCOOContext) aborts between shard compactions.
 func GenerateMatrixContext(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.COO, Stats, error) {
+	return GenerateMatrixArena(ctx, nil, s, net, seed, workers, p)
+}
+
+// GenerateMatrixArena is GenerateMatrixContext with the per-worker
+// shards and the merged output's storage pooled in an arena (nil
+// allocates fresh — identical output either way). The shards release
+// into the arena here; the returned COO is arena-backed, so the
+// caller must Release it after its last use (ToCSR first when the
+// triples need to outlive it — GenerateCSRArena does exactly that).
+func GenerateMatrixArena(ctx context.Context, a *Arena, s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.COO, Stats, error) {
 	chunks, workers, pd, err := planRun(s, net, workers, p)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	n := net.Len()
+	hint := divHint(eventBudget(pd), workers)
 	shards := make([]*matrix.COO, workers)
 	partial := make([]Stats, workers)
 	for w := range shards {
-		shards[w] = matrix.NewCOO(n, n)
+		shards[w] = matrix.NewCOOIn(a.Matrix(), n, n, hint)
 	}
 	err = runChunks(ctx, chunks, workers, seed, func(w, k int, rng *rand.Rand) error {
 		acc, st := shards[w], &partial[w]
@@ -202,12 +234,17 @@ func GenerateMatrixContext(ctx context.Context, s Scenario, net *Network, seed i
 		})
 	})
 	if err != nil {
+		releaseShards(shards)
 		return nil, Stats{}, err
 	}
-	merged, err := matrix.MergeCOOContext(ctx, shards...)
+	merged, err := matrix.MergeCOOArena(ctx, a.Matrix(), shards...)
 	if err != nil {
+		releaseShards(shards)
 		return nil, Stats{}, err
 	}
+	// The merge copies every triple, so the shards' slabs are
+	// unreachable now.
+	releaseShards(shards)
 	var stats Stats
 	for _, st := range partial {
 		stats.Events += st.Events
@@ -231,9 +268,20 @@ func GenerateCSR(s Scenario, net *Network, seed int64, workers int, p Params) (*
 // GenerateCSRContext is GenerateCSR with cancellation (see
 // GenerateMatrixContext).
 func GenerateCSRContext(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.CSR, Stats, error) {
-	coo, stats, err := GenerateMatrixContext(ctx, s, net, seed, workers, p)
+	return GenerateCSRArena(ctx, nil, s, net, seed, workers, p)
+}
+
+// GenerateCSRArena is GenerateCSRContext with every intermediate —
+// worker shards and the merged COO — pooled in an arena (nil
+// allocates fresh). The returned CSR's arrays are always freshly
+// allocated and permanently the caller's: nothing about it ever
+// returns to the pool, so it is safe to cache or stream.
+func GenerateCSRArena(ctx context.Context, a *Arena, s Scenario, net *Network, seed int64, workers int, p Params) (*matrix.CSR, Stats, error) {
+	coo, stats, err := GenerateMatrixArena(ctx, a, s, net, seed, workers, p)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return coo.ToCSR(), stats, nil
+	csr := coo.ToCSR()
+	coo.Release()
+	return csr, stats, nil
 }

@@ -164,7 +164,18 @@ func (n *Network) Index(name string) (int, bool) {
 
 // ByRole returns the names of all hosts with the role, in order.
 func (n *Network) ByRole(r Role) []string {
-	var out []string
+	// Scenarios call this per generation chunk, so size the result
+	// exactly: one allocation instead of append's doubling ladder.
+	count := 0
+	for _, h := range n.hosts {
+		if h.Role == r {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]string, 0, count)
 	for _, h := range n.hosts {
 		if h.Role == r {
 			out = append(out, h.Name)

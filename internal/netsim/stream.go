@@ -61,10 +61,22 @@ type TraceFrame struct {
 // A yield error or a cancelled ctx stops generation promptly and is
 // returned.
 func StreamTrace(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params, batch int, yield func(TraceFrame) error) error {
+	return StreamTraceArena(ctx, nil, s, net, seed, workers, p, batch, yield)
+}
+
+// StreamTraceArena is StreamTrace with the chunk buffers pooled in an
+// arena (nil allocates fresh — identical frames either way). A
+// chunk's buffer recycles the moment its frames have been yielded,
+// which the TraceFrame contract already permits: frame slices are
+// only valid until the yield callback returns, so the ring's
+// steady-state footprint is a handful of slabs cycling through the
+// pool instead of one fresh allocation per chunk.
+func StreamTraceArena(ctx context.Context, a *Arena, s Scenario, net *Network, seed int64, workers int, p Params, batch int, yield func(TraceFrame) error) error {
 	chunks, workers, pd, err := planRun(s, net, workers, p)
 	if err != nil {
 		return err
 	}
+	chunkHint := divHint(eventBudget(pd), chunks)
 	// The reorder ring: finished chunk buffers wait here until every
 	// earlier chunk has been delivered. Twice the worker count keeps
 	// workers busy across uneven chunk costs without growing the
@@ -111,8 +123,9 @@ func StreamTrace(ctx context.Context, s Scenario, net *Network, seed int64, work
 				next++
 				mu.Unlock()
 
-				var buf []Event
+				buf := a.GetEvents(chunkHint)
 				if err := s.Emit(net, chunkRNG(seed, k), pd, k, func(e Event) { buf = append(buf, e) }); err != nil {
+					a.PutEvents(buf)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -132,7 +145,11 @@ func StreamTrace(ctx context.Context, s Scenario, net *Network, seed int64, work
 					events := sl.events
 					chunk := frontier
 					*sl = slot{}
-					if err := yieldFrames(chunk, events, batch, yield); err != nil {
+					err := yieldFrames(chunk, events, batch, yield)
+					// Frames are only valid until yield returns, so the
+					// chunk's buffer is recyclable now — error or not.
+					a.PutEvents(events)
+					if err != nil {
 						if firstErr == nil {
 							firstErr = err
 						}
@@ -182,6 +199,19 @@ func yieldFrames(chunk int, events []Event, batch int, yield func(TraceFrame) er
 // granularity and is returned; windows already delivered stay
 // delivered.
 func StreamCSR(ctx context.Context, s Scenario, net *Network, seed int64, workers int, p Params, windowLen, horizon float64, onWindow func(index int, w SparseWindow) error) (*matrix.CSR, Stats, error) {
+	return StreamCSRArena(ctx, nil, s, net, seed, workers, p, windowLen, horizon, onWindow)
+}
+
+// StreamCSRArena is StreamCSR with the window compactor's per-window
+// shards, the aggregate's worker shards, and the merge output pooled
+// in an arena (nil allocates fresh — bit-identical windows either
+// way). Window builders recycle at Seal, worker shards after the
+// final merge; the sealed window CSRs and the returned aggregate CSR
+// are always freshly allocated and the consumer's forever. On an
+// error mid-run, builders of never-sealed windows are left to the GC
+// rather than reclaimed — safe, since pooling is only an optimization
+// and error paths are off the steady-state loop.
+func StreamCSRArena(ctx context.Context, a *Arena, s Scenario, net *Network, seed int64, workers int, p Params, windowLen, horizon float64, onWindow func(index int, w SparseWindow) error) (*matrix.CSR, Stats, error) {
 	if windowLen <= 0 {
 		return nil, Stats{}, fmt.Errorf("netsim: window length must be positive, got %g", windowLen)
 	}
@@ -229,21 +259,32 @@ func StreamCSR(ctx context.Context, s Scenario, net *Network, seed int64, worker
 		pending[w].Store(run)
 	}
 
-	compactor := matrix.NewWindowCompactor(n, n, nw)
+	budget := eventBudget(pd)
+	compactor := matrix.NewWindowCompactorArena(a.Matrix(), n, n, nw, divHint(budget, nw))
 	shards := make([]*matrix.COO, workers)
 	partial := make([]Stats, workers)
+	shardHint := divHint(budget, workers)
 	for w := range shards {
-		shards[w] = matrix.NewCOO(n, n)
+		shards[w] = matrix.NewCOOIn(a.Matrix(), n, n, shardHint)
 	}
 
 	var (
 		emitMu   sync.Mutex
 		frontier int
+		emitErr  error
 	)
 	// advance seals and delivers every window at the frontier whose
 	// pending count has reached zero. Callers hold emitMu, so windows
 	// leave in strict index order no matter which worker advances.
+	// The first onWindow error is sticky: it leaves the frontier on a
+	// window that is already sealed, so advancing again would re-seal
+	// it (a panic) — and delivering anything after a consumer error
+	// would be wrong anyway. Every later advance returns the original
+	// error without touching the compactor.
 	advance := func() error {
+		if emitErr != nil {
+			return emitErr
+		}
 		for frontier < nw && pending[frontier].Load() == 0 {
 			csr, events, dropped := compactor.Seal(frontier)
 			start := float64(frontier) * windowLen
@@ -255,6 +296,7 @@ func StreamCSR(ctx context.Context, s Scenario, net *Network, seed int64, worker
 				Dropped: dropped,
 			}
 			if err := onWindow(frontier, win); err != nil {
+				emitErr = err
 				return err
 			}
 			frontier++
@@ -267,6 +309,7 @@ func StreamCSR(ctx context.Context, s Scenario, net *Network, seed int64, worker
 	err = advance()
 	emitMu.Unlock()
 	if err != nil {
+		releaseShards(shards)
 		return nil, Stats{}, err
 	}
 
@@ -330,18 +373,23 @@ func StreamCSR(ctx context.Context, s Scenario, net *Network, seed int64, worker
 	err = advance()
 	emitMu.Unlock()
 	if err != nil {
+		releaseShards(shards)
 		return nil, Stats{}, err
 	}
 
-	merged, err := matrix.MergeCOOContext(ctx, shards...)
+	merged, err := matrix.MergeCOOArena(ctx, a.Matrix(), shards...)
 	if err != nil {
+		releaseShards(shards)
 		return nil, Stats{}, err
 	}
+	releaseShards(shards)
 	var stats Stats
 	for _, st := range partial {
 		stats.Events += st.Events
 		stats.Packets += st.Packets
 		stats.Dropped += st.Dropped
 	}
-	return merged.ToCSR(), stats, nil
+	csr := merged.ToCSR()
+	merged.Release()
+	return csr, stats, nil
 }

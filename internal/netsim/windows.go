@@ -92,6 +92,15 @@ func (t Trace) WindowsCSR(net *Network, windowLen, horizon float64) ([]SparseWin
 // stops splitting a large trace instead of finishing the whole
 // spatial-temporal view.
 func (t Trace) WindowsCSRContext(ctx context.Context, net *Network, windowLen, horizon float64) ([]SparseWindow, error) {
+	return t.WindowsCSRArena(ctx, nil, net, windowLen, horizon)
+}
+
+// WindowsCSRArena is WindowsCSRContext with each window's COO shard
+// pooled in an arena (nil allocates fresh — identical windows either
+// way). Shards are pre-sized to the trace's per-window average and
+// release into the arena as soon as they compact; the returned
+// windows' CSR arrays are always freshly allocated, never pooled.
+func (t Trace) WindowsCSRArena(ctx context.Context, a *Arena, net *Network, windowLen, horizon float64) ([]SparseWindow, error) {
 	if net == nil {
 		return nil, fmt.Errorf("netsim: nil network")
 	}
@@ -111,6 +120,7 @@ func (t Trace) WindowsCSRContext(ctx context.Context, net *Network, windowLen, h
 
 	// Single pass: fold every event into its window's shard.
 	n := net.Len()
+	hint := divHint(len(t), nw)
 	accs := make([]windowAcc, nw)
 	for ei, e := range t {
 		if ei&0xfff == 0 && ctx.Err() != nil {
@@ -120,18 +130,18 @@ func (t Trace) WindowsCSRContext(ctx context.Context, net *Network, windowLen, h
 		if !ok {
 			continue
 		}
-		a := &accs[w]
-		a.events++
+		acc := &accs[w]
+		acc.events++
 		i, iok := net.Index(e.Src)
 		j, jok := net.Index(e.Dst)
 		if !iok || !jok {
-			a.dropped += e.Packets
+			acc.dropped += e.Packets
 			continue
 		}
-		if a.coo == nil {
-			a.coo = matrix.NewCOO(n, n)
+		if acc.coo == nil {
+			acc.coo = matrix.NewCOOIn(a.Matrix(), n, n, hint)
 		}
-		a.coo.Add(i, j, e.Packets)
+		acc.coo.Add(i, j, e.Packets)
 	}
 
 	// Compact each window's shard to CSR; windows are independent, so
@@ -152,18 +162,22 @@ func (t Trace) WindowsCSRContext(ctx context.Context, net *Network, windowLen, h
 				if k >= nw {
 					return
 				}
-				a := accs[k]
-				coo := a.coo
+				acc := accs[k]
+				coo := acc.coo
 				if coo == nil {
 					coo = matrix.NewCOO(n, n)
 				}
 				start := float64(k) * windowLen
+				csr := coo.ToCSR()
+				// The CSR copied the triples out; the shard's slab is
+				// unreachable now.
+				coo.Release()
 				out[k] = SparseWindow{
 					Start:   start,
 					End:     start + windowLen,
-					Matrix:  coo.ToCSR(),
-					Events:  a.events,
-					Dropped: a.dropped,
+					Matrix:  csr,
+					Events:  acc.events,
+					Dropped: acc.dropped,
 				}
 			}
 		}()

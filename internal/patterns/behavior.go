@@ -85,28 +85,25 @@ func ClassifyBehaviorOf(m matrix.Matrix, z Zones) (Behavior, float64) {
 	blueBlueDsts := map[int]bool{}
 	reciprocated := 0                // reciprocated blue→blue packet volume
 	bgRow, bgCol, bgVal := -1, -1, 0 // heaviest blue→grey cell
-	for i := 0; i < n; i++ {
-		zi := z.Of(i)
-		m.Row(i, func(j, v int) {
-			if i == j {
-				return
+	matrix.EachStored(m, func(i, j, v int) {
+		if i == j {
+			return
+		}
+		zi, zj := z.Of(i), z.Of(j)
+		total += v
+		zonePackets[[2]Zone{zi, zj}] += v
+		inPackets[j] += v
+		inFan[j]++
+		if zi == ZoneBlue && zj == ZoneBlue {
+			blueBlueDsts[j] = true
+			if m.At(j, i) != 0 {
+				reciprocated += v
 			}
-			zj := z.Of(j)
-			total += v
-			zonePackets[[2]Zone{zi, zj}] += v
-			inPackets[j] += v
-			inFan[j]++
-			if zi == ZoneBlue && zj == ZoneBlue {
-				blueBlueDsts[j] = true
-				if m.At(j, i) != 0 {
-					reciprocated += v
-				}
-			}
-			if zi == ZoneBlue && zj == ZoneGrey && v > bgVal {
-				bgRow, bgCol, bgVal = i, j, v
-			}
-		})
-	}
+		}
+		if zi == ZoneBlue && zj == ZoneGrey && v > bgVal {
+			bgRow, bgCol, bgVal = i, j, v
+		}
+	})
 	if total == 0 {
 		return BehaviorUnknown, 0
 	}

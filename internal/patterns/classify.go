@@ -334,26 +334,24 @@ func ClassifyTopologyOf(m matrix.Matrix, z Zones) TopologyKind {
 	peers := make([]map[int]bool, n)
 	reciprocalOnly := true
 	anyReciprocal := false
-	for i := 0; i < n; i++ {
-		m.Row(i, func(j, _ int) {
-			if i == j {
-				return
-			}
-			if peers[i] == nil {
-				peers[i] = make(map[int]bool)
-			}
-			if peers[j] == nil {
-				peers[j] = make(map[int]bool)
-			}
-			peers[i][j] = true
-			peers[j][i] = true
-			if m.At(j, i) != 0 {
-				anyReciprocal = true
-			} else {
-				reciprocalOnly = false
-			}
-		})
-	}
+	matrix.EachStored(m, func(i, j, _ int) {
+		if i == j {
+			return
+		}
+		if peers[i] == nil {
+			peers[i] = make(map[int]bool)
+		}
+		if peers[j] == nil {
+			peers[j] = make(map[int]bool)
+		}
+		peers[i][j] = true
+		peers[j][i] = true
+		if m.At(j, i) != 0 {
+			anyReciprocal = true
+		} else {
+			reciprocalOnly = false
+		}
+	})
 	maxFan, hub := 0, -1
 	allFanOne := true
 	for v := 0; v < n; v++ {
@@ -382,24 +380,42 @@ func ClassifyTopologyOf(m matrix.Matrix, z Zones) TopologyKind {
 	return TopologyUnknown
 }
 
+// zoneCount is the number of Zone values (blue, grey, red), sizing
+// the flow-count table below.
+const zoneCount = 3
+
+// zoneFlowCells tallies the stored non-zero cells of m by
+// (source zone, destination zone) in one scan, plus the total cell
+// count. Every signature-fraction classifier reads from this one
+// table, so scoring k candidate signatures costs one matrix walk
+// instead of k.
+func zoneFlowCells(m matrix.Matrix, z Zones) (counts [zoneCount][zoneCount]int, total int) {
+	matrix.EachStored(m, func(i, j, _ int) {
+		counts[z.Of(i)][z.Of(j)]++
+		total++
+	})
+	return counts, total
+}
+
+// signatureFraction is flowFraction over a precomputed zone-pair
+// table: the fraction of cells whose zone pair is in the signature.
+func signatureFraction(counts [zoneCount][zoneCount]int, total int, signature map[[2]Zone]bool) float64 {
+	if total == 0 {
+		return 0
+	}
+	hits := 0
+	for pair := range signature {
+		hits += counts[pair[0]][pair[1]]
+	}
+	return float64(hits) / float64(total)
+}
+
 // flowFraction returns the fraction of non-zero cells whose
 // (source zone, destination zone) pair is in the signature set. It
 // walks only stored entries through the accessor interface.
 func flowFraction(m matrix.Matrix, z Zones, signature map[[2]Zone]bool) float64 {
-	total, hits := 0, 0
-	for i := 0; i < m.Rows(); i++ {
-		zi := z.Of(i)
-		m.Row(i, func(j, _ int) {
-			total++
-			if signature[[2]Zone{zi, z.Of(j)}] {
-				hits++
-			}
-		})
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(hits) / float64(total)
+	counts, total := zoneFlowCells(m, z)
+	return signatureFraction(counts, total, signature)
 }
 
 // attackSignatures maps each stage to the zone flows that
@@ -420,11 +436,13 @@ func ClassifyAttackStage(m *matrix.Dense, z Zones) (AttackStage, float64) {
 }
 
 // ClassifyAttackStageOf is ClassifyAttackStage over the read-only
-// accessor interface.
+// accessor interface. All four stage signatures score from one
+// zone-pair tally, so a window classifies in a single O(nnz) scan.
 func ClassifyAttackStageOf(m matrix.Matrix, z Zones) (AttackStage, float64) {
+	counts, total := zoneFlowCells(m, z)
 	best, bestScore := StagePlanning, -1.0
 	for _, stage := range AttackStages {
-		if score := flowFraction(m, z, attackSignatures[stage]); score > bestScore {
+		if score := signatureFraction(counts, total, attackSignatures[stage]); score > bestScore {
 			best, bestScore = stage, score
 		}
 	}
@@ -442,9 +460,10 @@ var postureSignatures = map[Posture]map[[2]Zone]bool{
 // whose signature flows best explain the matrix, with the explained
 // fraction as confidence.
 func ClassifyPosture(m *matrix.Dense, z Zones) (Posture, float64) {
+	counts, total := zoneFlowCells(m, z)
 	best, bestScore := PostureSecurity, -1.0
 	for _, p := range Postures {
-		if score := flowFraction(m, z, postureSignatures[p]); score > bestScore {
+		if score := signatureFraction(counts, total, postureSignatures[p]); score > bestScore {
 			best, bestScore = p, score
 		}
 	}
@@ -463,40 +482,36 @@ func ClassifyDDoS(m *matrix.Dense, roles DDoSRoles) (DDoSComponent, float64) {
 // component's hits, so a CSR window classifies in O(nnz) with no
 // dense materialization.
 func ClassifyDDoSOf(m matrix.Matrix, roles DDoSRoles) (DDoSComponent, float64) {
-	inC2 := make(map[int]bool, len(roles.C2))
+	n := m.Rows()
+	inC2 := make([]bool, n)
 	for _, v := range roles.C2 {
-		inC2[v] = true
+		if v >= 0 && v < n {
+			inC2[v] = true
+		}
 	}
-	inBots := make(map[int]bool, len(roles.Bots))
+	inBots := make([]bool, n)
 	for _, v := range roles.Bots {
-		inBots[v] = true
-	}
-	match := func(component DDoSComponent, i, j int) bool {
-		switch component {
-		case DDoSC2:
-			return inC2[i] && inC2[j]
-		case DDoSBotnet:
-			return inC2[i] && inBots[j]
-		case DDoSAttack:
-			return inBots[i] && j == roles.Victim
-		case DDoSBackscatter:
-			return i == roles.Victim && inBots[j]
-		default:
-			return false
+		if v >= 0 && v < n {
+			inBots[v] = true
 		}
 	}
 	total := 0
-	hits := make(map[DDoSComponent]int, len(DDoSComponents))
-	for i := 0; i < m.Rows(); i++ {
-		m.Row(i, func(j, _ int) {
-			total++
-			for _, component := range DDoSComponents {
-				if match(component, i, j) {
-					hits[component]++
-				}
-			}
-		})
-	}
+	var hits [DDoSBackscatter + 1]int
+	matrix.EachStored(m, func(i, j, _ int) {
+		total++
+		if inC2[i] && inC2[j] {
+			hits[DDoSC2]++
+		}
+		if inC2[i] && inBots[j] {
+			hits[DDoSBotnet]++
+		}
+		if inBots[i] && j == roles.Victim {
+			hits[DDoSAttack]++
+		}
+		if i == roles.Victim && inBots[j] {
+			hits[DDoSBackscatter]++
+		}
+	})
 	best, bestScore := DDoSC2, -1.0
 	for _, component := range DDoSComponents {
 		score := 0.0

@@ -124,42 +124,39 @@ func mixtureScores(m matrix.Matrix, z Zones) map[string]float64 {
 	recipBlueBlue := 0               // reciprocated blue→blue volume
 	bgRow, bgCol, bgVal := -1, -1, 0 // heaviest blue→grey cell
 
-	for i := 0; i < n; i++ {
-		zi := z.Of(i)
-		m.Row(i, func(j, v int) {
-			if i == j {
-				return
+	matrix.EachStored(m, func(i, j, v int) {
+		if i == j {
+			return
+		}
+		zi, zj := z.Of(i), z.Of(j)
+		total += v
+		totalCells++
+		zonePackets[[2]Zone{zi, zj}] += v
+		r := m.At(j, i)
+		balanced := r > 0 && v < balanceRatio*r && r < balanceRatio*v
+		if balanced && (zi == ZoneBlue || zj == ZoneBlue) && zi != ZoneRed && zj != ZoneRed {
+			balancedBlue += v
+		}
+		if !balanced && zj == ZoneBlue && v >= balanceRatio*r {
+			if unbalanced[j] == nil {
+				unbalanced[j] = make(map[int]int)
 			}
-			zj := z.Of(j)
-			total += v
-			totalCells++
-			zonePackets[[2]Zone{zi, zj}] += v
-			r := m.At(j, i)
-			balanced := r > 0 && v < balanceRatio*r && r < balanceRatio*v
-			if balanced && (zi == ZoneBlue || zj == ZoneBlue) && zi != ZoneRed && zj != ZoneRed {
-				balancedBlue += v
+			unbalanced[j][i] += v
+		}
+		if zi == ZoneBlue && zj == ZoneBlue {
+			blueBlueDsts[j] = true
+			if r != 0 {
+				recipBlueBlue += v
 			}
-			if !balanced && zj == ZoneBlue && v >= balanceRatio*r {
-				if unbalanced[j] == nil {
-					unbalanced[j] = make(map[int]int)
-				}
-				unbalanced[j][i] += v
-			}
-			if zi == ZoneBlue && zj == ZoneBlue {
-				blueBlueDsts[j] = true
-				if r != 0 {
-					recipBlueBlue += v
-				}
-			}
-			if zi == ZoneBlue && zj == ZoneGrey && v > bgVal {
-				bgRow, bgCol, bgVal = i, j, v
-			}
-			if zi == ZoneRed && zj == ZoneBlue && r == 0 {
-				scanPackets[i] += v
-				scanCells[i]++
-			}
-		})
-	}
+		}
+		if zi == ZoneBlue && zj == ZoneGrey && v > bgVal {
+			bgRow, bgCol, bgVal = i, j, v
+		}
+		if zi == ZoneRed && zj == ZoneBlue && r == 0 {
+			scanPackets[i] += v
+			scanCells[i]++
+		}
+	})
 	if total == 0 {
 		return scores
 	}
@@ -259,16 +256,11 @@ func mixtureScores(m matrix.Matrix, z Zones) map[string]float64 {
 	rb := zonePackets[[2]Zone{ZoneRed, ZoneBlue}]
 	if br > 0 && rb <= br {
 		beaconCells := 0
-		for i := 0; i < n; i++ {
-			if z.Of(i) != ZoneBlue {
-				continue
+		matrix.EachStored(m, func(i, j, _ int) {
+			if z.Of(i) == ZoneBlue && z.Of(j) == ZoneRed {
+				beaconCells++
 			}
-			m.Row(i, func(j, _ int) {
-				if z.Of(j) == ZoneRed {
-					beaconCells++
-				}
-			})
-		}
+		})
 		scores["beacon"] = max(frac(br+rb), cellFrac(beaconCells))
 	}
 	return scores
