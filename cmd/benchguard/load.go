@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/loadreport"
+)
+
+// loadFile is the combined load snapshot the CI smoke job assembles:
+// one twload summary against `twserve -workers 1` and one against the
+// sharded fleet. (BENCH_PR8.json in the repo root is this shape.)
+type loadFile struct {
+	Single  loadreport.Summary `json:"single"`
+	Sharded loadreport.Summary `json:"sharded"`
+}
+
+// runLoadGate checks the machine-independent invariants of a combined
+// load snapshot and returns the process exit code. Latency and
+// throughput numbers themselves vary wildly across runners, so the
+// gate pins only the *shape* a healthy sharded core produces:
+//
+//   - both runs delivered load and saw zero errors;
+//   - warm p50 sits at least warmFactor below cold p50 in both runs
+//     (the cache and the router's spec affinity are working — a
+//     misrouted respelling or a poisoned cache collapses this gap);
+//   - the sharded fleet's throughput is at least minSpeedup × the
+//     single worker's (CI uses 1.0 — "sharding must not cost
+//     throughput" — because the runner's core count is unknown;
+//     multi-core measurements land in EXPERIMENTS.md).
+func runLoadGate(path string, warmFactor, minSpeedup float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: read load snapshot: %v\n", err)
+		return 2
+	}
+	var lf loadFile
+	if err := json.Unmarshal(data, &lf); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parse load snapshot: %v\n", err)
+		return 2
+	}
+
+	failed := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			fmt.Printf("ok   "+format+"\n", args...)
+		} else {
+			fmt.Printf("FAIL "+format+"\n", args...)
+			failed++
+		}
+	}
+
+	for _, run := range []struct {
+		name string
+		s    loadreport.Summary
+	}{{"single", lf.Single}, {"sharded", lf.Sharded}} {
+		check(run.s.Requests > 0, "%s: delivered load (%d requests, %.1f req/s, %d workers)",
+			run.name, run.s.Requests, run.s.Throughput, run.s.Workers)
+		check(run.s.Errors == 0, "%s: zero errors (got %d)", run.name, run.s.Errors)
+		warm, okW := run.s.Class("warm")
+		cold, okC := run.s.Class("cold")
+		check(okW && okC, "%s: warm and cold classes both sampled", run.name)
+		if okW && okC && cold.P50Ms > 0 {
+			check(warm.P50Ms*warmFactor < cold.P50Ms,
+				"%s: warm p50 %.2fms < cold p50 %.2fms / %g (cache + spec affinity)",
+				run.name, warm.P50Ms, cold.P50Ms, warmFactor)
+		}
+	}
+	if lf.Single.Throughput > 0 {
+		check(lf.Sharded.Throughput >= minSpeedup*lf.Single.Throughput,
+			"sharded throughput %.1f req/s ≥ %g × single %.1f req/s",
+			lf.Sharded.Throughput, minSpeedup, lf.Single.Throughput)
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d load invariant(s) failed\n", failed)
+		return 1
+	}
+	fmt.Println("benchguard: load snapshot satisfies all invariants")
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/loadreport"
+)
+
+// goodLoad builds a snapshot satisfying every invariant.
+func goodLoad() loadFile {
+	mk := func(workers int, rps float64) loadreport.Summary {
+		return loadreport.Summary{
+			Workers: workers, Concurrency: 8, DurationSec: 10,
+			Requests: int(rps * 10), Throughput: rps,
+			Classes: []loadreport.ClassStats{
+				{Class: "cold", Count: 40, P50Ms: 200, P99Ms: 400},
+				{Class: "warm", Count: 100, P50Ms: 2, P99Ms: 8},
+			},
+		}
+	}
+	return loadFile{Single: mk(1, 50), Sharded: mk(4, 120)}
+}
+
+func writeLoad(t *testing.T, lf loadFile) string {
+	t.Helper()
+	data, err := json.Marshal(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeTemp(t, "load.json", string(data))
+}
+
+func TestLoadGatePasses(t *testing.T) {
+	if code := runLoadGate(writeLoad(t, goodLoad()), 10, 1.0); code != 0 {
+		t.Fatalf("healthy snapshot exited %d", code)
+	}
+}
+
+func TestLoadGateFailsOnErrors(t *testing.T) {
+	lf := goodLoad()
+	lf.Sharded.Errors = 3
+	if code := runLoadGate(writeLoad(t, lf), 10, 1.0); code != 1 {
+		t.Fatalf("errors in sharded run exited %d, want 1", code)
+	}
+}
+
+func TestLoadGateFailsOnCollapsedWarmColdGap(t *testing.T) {
+	lf := goodLoad()
+	// Warm p50 only 2× below cold: the cache is not visibly working.
+	for i := range lf.Single.Classes {
+		if lf.Single.Classes[i].Class == "warm" {
+			lf.Single.Classes[i].P50Ms = 100
+		}
+	}
+	if code := runLoadGate(writeLoad(t, lf), 10, 1.0); code != 1 {
+		t.Fatalf("collapsed warm/cold gap exited %d, want 1", code)
+	}
+}
+
+func TestLoadGateFailsOnThroughputRegression(t *testing.T) {
+	lf := goodLoad()
+	lf.Sharded.Throughput = 30 // below the single worker's 50
+	if code := runLoadGate(writeLoad(t, lf), 10, 1.0); code != 1 {
+		t.Fatalf("sharded slower than single exited %d, want 1", code)
+	}
+}
+
+func TestLoadGateFailsOnEmptyRun(t *testing.T) {
+	lf := goodLoad()
+	lf.Single = loadreport.Summary{}
+	if code := runLoadGate(writeLoad(t, lf), 10, 1.0); code != 1 {
+		t.Fatalf("empty single run exited %d, want 1", code)
+	}
+}
+
+func TestLoadGateHonorsMinSpeedup(t *testing.T) {
+	lf := goodLoad() // sharded 120 vs single 50 = 2.4×
+	if code := runLoadGate(writeLoad(t, lf), 10, 2.0); code != 0 {
+		t.Fatalf("2.4× speedup failed a 2.0 floor (exit %d)", code)
+	}
+	if code := runLoadGate(writeLoad(t, lf), 10, 3.0); code != 1 {
+		t.Fatalf("2.4× speedup passed a 3.0 floor (exit %d)", code)
+	}
+}
+
+func TestLoadGateRejectsGarbage(t *testing.T) {
+	if code := runLoadGate(writeTemp(t, "bad.json", "{not json"), 10, 1.0); code != 2 {
+		t.Fatalf("garbage snapshot exited %d, want 2", code)
+	}
+	if code := runLoadGate("/nonexistent/load.json", 10, 1.0); code != 2 {
+		t.Fatalf("missing snapshot exited %d, want 2", code)
+	}
+}

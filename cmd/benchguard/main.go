@@ -5,6 +5,14 @@
 //
 //	benchguard -baseline BENCH_PR7.json -current fresh.json
 //
+// With -load it instead gates a combined twload snapshot (the
+// {"single": …, "sharded": …} shape the CI load-smoke job writes),
+// asserting the machine-independent load invariants — zero errors,
+// warm p50 far below cold p50, sharded throughput at least matching
+// the single worker:
+//
+//	benchguard -load BENCH_PR8.current.json
+//
 // Both files may be either raw `go test -bench` output or the
 // test2json stream produced by `go test -json` (the committed
 // trajectory snapshots use the latter); benchguard extracts the
@@ -108,7 +116,13 @@ func main() {
 	current := flag.String("current", "", "fresh bench run to check (raw or test2json)")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth")
 	slack := flag.Int64("slack", 64, "allowed absolute allocs/op growth on top of tolerance")
+	loadPath := flag.String("load", "", "gate a combined twload snapshot instead of allocs/op")
+	warmFactor := flag.Float64("warm-factor", 10, "with -load: required cold-p50 / warm-p50 ratio")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "with -load: required sharded/single throughput ratio")
 	flag.Parse()
+	if *loadPath != "" {
+		os.Exit(runLoadGate(*loadPath, *warmFactor, *minSpeedup))
+	}
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are both required")
 		os.Exit(2)

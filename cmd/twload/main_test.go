@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/router"
+)
+
+// testServer is a thin shim over a worker pool exposing exactly the
+// routes twload drives. (cmd packages cannot import each other, so
+// the full twserve mux is not available here; the real end-to-end
+// pairing is exercised by the CI load-smoke job.)
+func testServer(t *testing.T, workers int) *httptest.Server {
+	t.Helper()
+	core := api.Core(api.New())
+	if workers > 1 {
+		core = router.NewPool(workers)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(core.Stats())
+	})
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		var req api.GenerateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := core.Generate(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("POST /v1/generate/stream", func(w http.ResponseWriter, r *http.Request) {
+		var req api.GenerateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		err := core.GenerateStream(r.Context(), req, func(f api.StreamFrame) error {
+			return api.EncodeFrame(w, f)
+		})
+		if err != nil {
+			api.EncodeFrame(w, api.StreamFrame{Type: api.FrameError, Error: err.Error()})
+		}
+	})
+	mux.HandleFunc("POST /v1/module", func(w http.ResponseWriter, r *http.Request) {
+		var req api.ModuleRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		m, err := core.Module(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(m)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunMixedLoad: one run against a 4-worker fleet completes with
+// zero errors, covers the dominant request classes, reports sane
+// percentiles, and exhibits the invariant benchguard -load gates on:
+// repeated specs are served from cache, so warm p50 sits below cold
+// p50. Long enough (4s) that the 20% cold class is sampled even when
+// the race detector slows every request several-fold.
+func TestRunMixedLoad(t *testing.T) {
+	srv := testServer(t, 4)
+	sum, err := run(context.Background(), config{
+		addr:        srv.URL,
+		duration:    4 * time.Second,
+		concurrency: 4,
+		seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("load run saw %d errors:\n%s", sum.Errors, sum.String())
+	}
+	if sum.Requests == 0 || sum.Throughput <= 0 {
+		t.Fatalf("no load delivered: %+v", sum)
+	}
+	if sum.Workers != 4 {
+		t.Errorf("probed worker count = %d, want 4", sum.Workers)
+	}
+	if sum.Concurrency != 4 {
+		t.Errorf("summary concurrency = %d", sum.Concurrency)
+	}
+	// The dominant classes must appear; stream at 5% may legitimately
+	// miss the window.
+	for _, class := range []string{"warm", "cold"} {
+		st, ok := sum.Class(class)
+		if !ok {
+			t.Errorf("class %q missing from summary", class)
+			continue
+		}
+		if st.P50Ms > st.P99Ms || st.MaxMs < st.P99Ms {
+			t.Errorf("%s: inconsistent percentiles %+v", class, st)
+		}
+	}
+	warm, okW := sum.Class("warm")
+	cold, okC := sum.Class("cold")
+	if okW && okC && warm.P50Ms >= cold.P50Ms {
+		t.Errorf("warm p50 %.2fms not below cold p50 %.2fms — cache not visible in the load shape",
+			warm.P50Ms, cold.P50Ms)
+	}
+}
+
+// TestRunUnreachableTarget: a dead address fails fast with a probe
+// error instead of reporting a zero-request "success".
+func TestRunUnreachableTarget(t *testing.T) {
+	_, err := run(context.Background(), config{
+		addr:        "http://127.0.0.1:1",
+		duration:    time.Second,
+		concurrency: 1,
+	})
+	if err == nil {
+		t.Fatal("run against an unreachable target returned no error")
+	}
+}

@@ -5,15 +5,23 @@
 // clients shares one deterministic result cache and one session
 // registry.
 //
-//	twserve -addr :8080
+//	twserve -addr :8080 -workers 4
 //
 //	GET  /v1/catalog          scenario + figure-pattern catalog
 //	POST /v1/generate         api.GenerateRequest  → api.GenerateResult
 //	POST /v1/generate/stream  api.GenerateRequest  → NDJSON frame stream
 //	POST /v1/analyze          api.AnalyzeRequest   → api.AnalyzeResult
 //	POST /v1/module           api.ModuleRequest    → core.Module JSON
-//	GET  /v1/sessions         in-flight work
-//	GET  /v1/cache            result-cache counters
+//	GET  /v1/sessions         in-flight work (merged across workers)
+//	GET  /v1/cache            result-cache counters (fleet aggregate)
+//	GET  /v1/stats            per-worker, per-shard counters
+//
+// With -workers N > 1 the server fronts N in-process api.Service
+// workers through router.Pool: every request routes by its canonical
+// spec hash, so one spec always lands on one worker and the fleet
+// behaves like a single coherent catalog with N caches' worth of
+// parallelism. -workers 1 (the default) serves a single service with
+// no router in the path.
 //
 // The streaming variant answers with application/x-ndjson: one meta
 // frame, a window frame per sealed aggregation window the moment the
@@ -45,15 +53,17 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/router"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	cacheCap := flag.Int("cache", api.DefaultCacheCapacity, "result cache capacity (0 disables)")
-	workers := flag.Int("workers", 0, "default generation workers (0 = all CPUs)")
+	cacheCap := flag.Int("cache", api.DefaultCacheCapacity, "result cache capacity per worker (0 disables)")
+	workers := flag.Int("workers", 1, "service workers behind the spec-hash router")
+	genWorkers := flag.Int("genworkers", 0, "default generation workers per request (0 = all CPUs)")
 	flag.Parse()
 
-	svc := api.New(api.WithCacheCapacity(*cacheCap), api.WithDefaultWorkers(*workers))
+	svc := newCore(*workers, api.WithCacheCapacity(*cacheCap), api.WithDefaultWorkers(*genWorkers))
 	srv := newServer(*addr, newMux(svc))
 
 	// Serve until interrupted, then drain in-flight requests.
@@ -61,7 +71,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("twserve: listening on %s (api %s, cache %d)", *addr, api.Version, *cacheCap)
+	log.Printf("twserve: listening on %s (api %s, workers %d, cache %d)", *addr, api.Version, *workers, *cacheCap)
 	select {
 	case err := <-errc:
 		log.Fatalf("twserve: %v", err)
@@ -101,9 +111,21 @@ func newServer(addr string, h http.Handler) *http.Server {
 	}
 }
 
-// newMux builds the route table over a service. Split from main so
-// the test suite can drive the full HTTP surface through httptest.
-func newMux(svc *api.Service) http.Handler {
+// newCore builds the service core the mux serves: a bare service for
+// workers ≤ 1 (no router hop on the single-worker path), a
+// router.Pool above that.
+func newCore(workers int, opts ...api.Option) api.Core {
+	if workers <= 1 {
+		return api.New(opts...)
+	}
+	return router.NewPool(workers, opts...)
+}
+
+// newMux builds the route table over a service core — a single
+// *api.Service or a *router.Pool fleet; every handler is written
+// against the api.Core surface. Split from main so the test suite can
+// drive the full HTTP surface through httptest.
+func newMux(svc api.Core) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -113,7 +135,7 @@ func newMux(svc *api.Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{
 			"service": "twserve",
 			"version": api.Version,
-			"routes":  "GET /v1/catalog · POST /v1/generate · POST /v1/generate/stream · POST /v1/analyze · POST /v1/module · GET /v1/sessions · GET /v1/cache",
+			"routes":  "GET /v1/catalog · POST /v1/generate · POST /v1/generate/stream · POST /v1/analyze · POST /v1/module · GET /v1/sessions · GET /v1/cache · GET /v1/stats",
 		})
 	})
 	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +226,9 @@ func newMux(svc *api.Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.CacheStats())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
 	})
 	return mux
 }

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/router"
+)
+
+// newPoolServer stands up the route table over a multi-worker core,
+// exactly as `twserve -workers n` does.
+func newPoolServer(t *testing.T, n int, opts ...api.Option) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newMux(newCore(n, opts...)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestNewCorePicksPoolOnlyAboveOneWorker: -workers 1 must serve a
+// bare service with no router hop; anything above fronts a pool.
+func TestNewCorePicksPoolOnlyAboveOneWorker(t *testing.T) {
+	if _, ok := newCore(1).(*api.Service); !ok {
+		t.Errorf("newCore(1) = %T, want *api.Service", newCore(1))
+	}
+	if _, ok := newCore(0).(*api.Service); !ok {
+		t.Errorf("newCore(0) = %T, want *api.Service", newCore(0))
+	}
+	p, ok := newCore(4).(*router.Pool)
+	if !ok {
+		t.Fatalf("newCore(4) = %T, want *router.Pool", newCore(4))
+	}
+	if p.Size() != 4 {
+		t.Errorf("pool size = %d", p.Size())
+	}
+}
+
+// TestPooledGenerateCachesAcrossClients: the classroom hot path
+// through a 4-worker fleet — one spec routes to one worker, so the
+// second identical request is a hit even with four private caches.
+func TestPooledGenerateCachesAcrossClients(t *testing.T) {
+	srv := newPoolServer(t, 4)
+	req := api.GenerateRequest{Spec: "scan", Seed: 1, Workers: 1, Duration: 4, Window: 2}
+
+	cold := postJSON(t, srv.URL+"/v1/generate", req)
+	if cold.StatusCode != http.StatusOK || cold.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("cold: status %d, X-Cache %q", cold.StatusCode, cold.Header.Get("X-Cache"))
+	}
+	warm := postJSON(t, srv.URL+"/v1/generate", req)
+	if warm.StatusCode != http.StatusOK || warm.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("warm: status %d, X-Cache %q", warm.StatusCode, warm.Header.Get("X-Cache"))
+	}
+}
+
+// TestPooledStreamEndpoint: the NDJSON route works through the
+// router — frames arrive in order and close with a summary.
+func TestPooledStreamEndpoint(t *testing.T) {
+	srv := newPoolServer(t, 4)
+	resp := postJSON(t, srv.URL+"/v1/generate/stream",
+		api.GenerateRequest{Spec: "ddos", Seed: 2, Workers: 1, Duration: 6, Window: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var frames []api.StreamFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f api.StreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("got %d frames, want meta + windows + summary", len(frames))
+	}
+	if frames[0].Type != api.FrameMeta || frames[len(frames)-1].Type != api.FrameSummary {
+		t.Errorf("frame envelope = %s ... %s", frames[0].Type, frames[len(frames)-1].Type)
+	}
+}
+
+// TestStatsEndpointReportsFleet: /v1/stats carries one entry per
+// worker with a per-stripe cache breakdown — the observability
+// surface the load harness scrapes.
+func TestStatsEndpointReportsFleet(t *testing.T) {
+	srv := newPoolServer(t, 4)
+	// Warm a few specs so the counters are non-trivial.
+	for _, spec := range []string{"scan", "ddos", "worm"} {
+		resp := postJSON(t, srv.URL+"/v1/generate",
+			api.GenerateRequest{Spec: spec, Seed: 1, Workers: 1, Duration: 4})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", spec, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rep := decode[api.StatsReport](t, resp)
+	if rep.Version != api.Version || len(rep.Workers) != 4 {
+		t.Fatalf("stats = version %q, %d workers", rep.Version, len(rep.Workers))
+	}
+	cached := 0
+	for i, w := range rep.Workers {
+		if w.Worker != i {
+			t.Errorf("worker %d labeled %d", i, w.Worker)
+		}
+		if len(w.Cache.Shards) == 0 {
+			t.Errorf("worker %d: no per-shard breakdown", i)
+		}
+		cached += w.Cache.Len
+	}
+	if cached != 3 {
+		t.Errorf("fleet holds %d cached runs, want 3", cached)
+	}
+
+	// The single-worker server exposes the same shape with one entry.
+	solo := newTestServer(t)
+	resp2, err := http.Get(solo.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	rep2 := decode[api.StatsReport](t, resp2)
+	if len(rep2.Workers) != 1 || rep2.Workers[0].Worker != 0 {
+		t.Errorf("single-worker stats = %+v", rep2.Workers)
+	}
+}
+
+// TestRootRouteListsStats keeps the index honest about the new route.
+func TestRootRouteListsStats(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	idx := decode[map[string]string](t, resp)
+	if !strings.Contains(idx["routes"], "/v1/stats") {
+		t.Errorf("root route listing omits /v1/stats: %q", idx["routes"])
+	}
+}
+
+// TestPooledSessionsEndpointMergesWorkers: /v1/sessions on a pool
+// returns the merged (possibly empty) list, not an error.
+func TestPooledSessionsEndpointMergesWorkers(t *testing.T) {
+	srv := newPoolServer(t, 4)
+	resp, err := http.Get(srv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	sessions := decode[[]api.SessionInfo](t, resp)
+	if len(sessions) != 0 {
+		t.Errorf("idle pool reports %d sessions", len(sessions))
+	}
+}

@@ -17,6 +17,11 @@ type CacheStats struct {
 	// Len and Capacity describe the current occupancy.
 	Len      int `json:"len"`
 	Capacity int `json:"capacity"`
+	// Shards, when the cache is lock-striped, breaks the aggregate
+	// down per shard (each entry's counters cover one stripe; the
+	// top-level counters are their sums). Empty for a flat cache and
+	// for the entries themselves.
+	Shards []CacheStats `json:"shards,omitempty"`
 }
 
 // lruCache is the bounded result cache: a mutex-guarded map plus

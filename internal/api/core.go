@@ -1,0 +1,56 @@
+package api
+
+import (
+	"context"
+
+	"repro/internal/bridge"
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// Core is the full façade surface a front-end serves: every request
+// method plus the observability probes. A single *Service implements
+// it, and so does router.Pool — which is what lets twserve swap one
+// worker for a sharded fleet without the route table noticing.
+type Core interface {
+	Generate(ctx context.Context, req GenerateRequest) (*GenerateResult, error)
+	GenerateStream(ctx context.Context, req GenerateRequest, emit func(StreamFrame) error) error
+	Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeResult, error)
+	Module(ctx context.Context, req ModuleRequest) (*core.Module, error)
+	Campaign(ctx context.Context, req CampaignRequest) (*bridge.Campaign, error)
+	Catalog(ctx context.Context) *CatalogResult
+	Sessions() []SessionInfo
+	CancelSession(id int64) bool
+	CacheStats() CacheStats
+	Stats() StatsReport
+}
+
+var _ Core = (*Service)(nil)
+
+// WorkerStats is one worker's slice of a StatsReport: its cache
+// counters (with the per-shard breakdown), its in-flight session
+// count, and its arena pool counters.
+type WorkerStats struct {
+	Worker   int               `json:"worker"`
+	Cache    CacheStats        `json:"cache"`
+	Sessions int               `json:"sessions"`
+	Arena    netsim.ArenaStats `json:"arena"`
+}
+
+// StatsReport is the /v1/stats payload: per-worker, per-shard
+// observability for a served deployment. A single service reports
+// one worker; a router pool reports one entry per worker.
+type StatsReport struct {
+	Version string        `json:"version"`
+	Workers []WorkerStats `json:"workers"`
+}
+
+// Stats reports this service as a one-worker fleet.
+func (svc *Service) Stats() StatsReport {
+	return StatsReport{Version: Version, Workers: []WorkerStats{{
+		Worker:   0,
+		Cache:    svc.CacheStats(),
+		Sessions: svc.SessionCount(),
+		Arena:    svc.ArenaStats(),
+	}}}
+}

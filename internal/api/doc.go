@@ -32,10 +32,22 @@
 //     partially consumed stream must never seed either.
 //
 //   - Observable: a concurrent session registry tracks in-flight
-//     requests (Sessions, CancelSession), and CacheStats exposes
-//     hit/miss/eviction counters.
+//     requests (Sessions, CancelSession), CacheStats exposes
+//     hit/miss/eviction counters with a per-stripe breakdown, and
+//     Stats reports the full worker view (StatsReport).
 //
 //   - Versioned: Version names the wire contract; twserve mounts
 //     every route under it ("/v1/generate", …), and results carry it
 //     so stored documents are self-describing.
+//
+// Internally the cache, the session registry, and the singleflight
+// group are lock-striped (see sharded.go): a key's stripe is a pure
+// function of its avalanche-finalized hash, so concurrent requests
+// contend only on stripe collisions, never on one global mutex. The
+// Core interface names the full serving surface; internal/router
+// fronts N Services with a consistent spec-hash ring behind the same
+// interface, which is how `twserve -workers N` scales out. RouteKey
+// on each request type exposes the canonical routing identity, and
+// WithSessionIDs lets a fleet share one session-ID source so IDs
+// stay process-unique across workers.
 package api

@@ -31,67 +31,126 @@ type session struct {
 	cancel context.CancelCauseFunc
 }
 
-// sessionRegistry tracks in-flight work. Every service call passes
-// through begin/end, so a snapshot at any moment names exactly the
-// requests currently holding worker pools.
-type sessionRegistry struct {
+// SessionStore tracks in-flight work. Every service call passes
+// through Begin (and the end func it returns), so a snapshot at any
+// moment names exactly the requests currently holding worker pools.
+// Implementations must be safe for concurrent use.
+type SessionStore interface {
+	// Begin registers an in-flight request and returns a context
+	// derived from ctx whose cancellation is additionally reachable
+	// through CancelByID, plus the end func that deregisters the
+	// session and releases its context resources (idempotent).
+	Begin(ctx context.Context, kind, key string) (context.Context, func())
+	// Snapshot returns the in-flight sessions ordered by ID.
+	Snapshot() []SessionInfo
+	// CancelByID cancels the identified session's context with
+	// ErrSessionCancelled as the cause, reporting whether it was in
+	// flight.
+	CancelByID(id int64) bool
+	// Len counts the in-flight sessions.
+	Len() int
+}
+
+// sessionShard is one stripe of the session table: a mutex and the
+// slice of active sessions whose IDs hash here.
+type sessionShard struct {
 	mu     sync.Mutex
-	nextID int64
 	active map[int64]*session
 }
 
-func newSessionRegistry() *sessionRegistry {
-	return &sessionRegistry{active: make(map[int64]*session)}
+// sessionStore is the lock-striped SessionStore. IDs come from an
+// atomic counter (optionally shared with other stores — a router
+// pool hands every worker the same source so IDs are unique across
+// the whole process), and a session lives on the stripe its ID masks
+// to, so CancelByID goes straight to one stripe without scanning.
+type sessionStore struct {
+	ids    *sessionIDSource
+	shards []*sessionShard
+	mask   uint64
 }
 
-// begin registers an in-flight request and returns a context derived
+// newSessionStore builds a store striped over nshards (rounded up to
+// a power of two), drawing IDs from ids — or from a fresh private
+// counter when ids is nil.
+func newSessionStore(nshards int, ids *sessionIDSource) *sessionStore {
+	if ids == nil {
+		ids = new(sessionIDSource)
+	}
+	n := nextPow2(max(1, nshards))
+	r := &sessionStore{ids: ids, shards: make([]*sessionShard, n), mask: uint64(n - 1)}
+	for i := range r.shards {
+		r.shards[i] = &sessionShard{active: make(map[int64]*session)}
+	}
+	return r
+}
+
+// Begin registers an in-flight request and returns a context derived
 // from ctx whose cancellation is additionally reachable through
-// cancelByID — the hook that lets an operator abort a runaway
-// generation.
-func (r *sessionRegistry) begin(ctx context.Context, kind, key string) (context.Context, *session) {
+// CancelByID — the hook that lets an operator abort a runaway
+// generation — plus the idempotent end func.
+func (r *sessionStore) Begin(ctx context.Context, kind, key string) (context.Context, func()) {
 	ctx, cancel := context.WithCancelCause(ctx)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nextID++
+	id := r.ids.Add(1)
 	s := &session{
-		info:   SessionInfo{ID: r.nextID, Kind: kind, Key: key, Started: time.Now()},
+		info:   SessionInfo{ID: id, Kind: kind, Key: key, Started: time.Now()},
 		cancel: cancel,
 	}
-	r.active[s.info.ID] = s
-	return ctx, s
-}
-
-// end removes the session and releases its context resources.
-func (r *sessionRegistry) end(s *session) {
-	r.mu.Lock()
-	delete(r.active, s.info.ID)
-	r.mu.Unlock()
-	s.cancel(nil)
-}
-
-// snapshot returns the in-flight sessions ordered by ID.
-func (r *sessionRegistry) snapshot() []SessionInfo {
-	r.mu.Lock()
-	out := make([]SessionInfo, 0, len(r.active))
-	for _, s := range r.active {
-		out = append(out, s.info)
+	sh := r.shards[uint64(id)&r.mask]
+	sh.mu.Lock()
+	sh.active[id] = s
+	sh.mu.Unlock()
+	var once sync.Once
+	end := func() {
+		once.Do(func() {
+			sh.mu.Lock()
+			delete(sh.active, id)
+			sh.mu.Unlock()
+			cancel(nil)
+		})
 	}
-	r.mu.Unlock()
+	return ctx, end
+}
+
+// Snapshot returns the in-flight sessions ordered by ID — the merge
+// across stripes sorts, so /v1/sessions output is stable no matter
+// which stripe each session landed on.
+func (r *sessionStore) Snapshot() []SessionInfo {
+	var out []SessionInfo
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, s := range sh.active {
+			out = append(out, s.info)
+		}
+		sh.mu.Unlock()
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// cancelByID cancels the identified session's context with
+// CancelByID cancels the identified session's context with
 // ErrSessionCancelled as the cause, reporting whether it was in
-// flight.
-func (r *sessionRegistry) cancelByID(id int64) bool {
-	r.mu.Lock()
-	s, ok := r.active[id]
-	r.mu.Unlock()
+// flight. The ID's stripe is a pure function of the ID, so this is
+// one lock, not a scan.
+func (r *sessionStore) CancelByID(id int64) bool {
+	sh := r.shards[uint64(id)&r.mask]
+	sh.mu.Lock()
+	s, ok := sh.active[id]
+	sh.mu.Unlock()
 	if ok {
 		s.cancel(ErrSessionCancelled)
 	}
 	return ok
+}
+
+// Len counts the in-flight sessions across all stripes.
+func (r *sessionStore) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += len(sh.active)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // sessionErr rewrites a cancellation that an operator caused into

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bridge"
@@ -23,12 +24,14 @@ const DefaultCacheCapacity = 64
 // command invocation (the CLIs). All methods are safe for concurrent
 // use.
 type Service struct {
-	cacheCap  int
-	workers   int
-	noPooling bool
-	cache     *lruCache
-	sessions  *sessionRegistry
-	flights   flightGroup
+	cacheCap   int
+	workers    int
+	shards     int
+	noPooling  bool
+	sessionIDs *sessionIDSource
+	cache      ResultCache
+	sessions   SessionStore
+	flights    *shardedFlights
 	// arena pools the generation pipeline's builder storage across
 	// requests (nil when pooling is disabled — every netsim arena
 	// entry point treats a nil arena as "allocate fresh", and the two
@@ -57,34 +60,56 @@ func WithDefaultWorkers(n int) Option { return func(s *Service) { s.workers = n 
 // reference side of the pooling parity suite.
 func WithoutPooling() Option { return func(s *Service) { s.noPooling = true } }
 
+// WithShards sets the lock-stripe count for the result cache, the
+// session store, and the singleflight group (rounded up to a power
+// of two). n ≤ 0 selects DefaultShards. Sharding never changes
+// results — WithShards(1) is the single-mutex reference behaviour
+// the parity suite compares against.
+func WithShards(n int) Option { return func(s *Service) { s.shards = n } }
+
+// WithSessionIDs makes the service draw session IDs from a shared
+// atomic counter instead of a private one, so several Service
+// workers behind one router hand out process-unique IDs and an
+// operator's CancelSession(id) names exactly one run.
+func WithSessionIDs(ids *atomic.Int64) Option { return func(s *Service) { s.sessionIDs = ids } }
+
 // New builds a Service with the given options.
 func New(opts ...Option) *Service {
 	s := &Service{cacheCap: DefaultCacheCapacity}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.cache = newLRUCache(s.cacheCap)
-	s.sessions = newSessionRegistry()
+	if s.shards <= 0 {
+		s.shards = DefaultShards()
+	}
+	s.cache = newShardedCache(s.cacheCap, s.shards)
+	s.sessions = newSessionStore(s.shards, s.sessionIDs)
+	s.flights = newShardedFlights(s.shards)
 	if !s.noPooling {
 		s.arena = netsim.NewArena()
 	}
 	return s
 }
 
-// CacheStats snapshots the result cache counters.
-func (svc *Service) CacheStats() CacheStats { return svc.cache.stats() }
+// CacheStats snapshots the result cache counters (with the
+// per-shard breakdown).
+func (svc *Service) CacheStats() CacheStats { return svc.cache.Stats() }
 
 // ArenaStats snapshots the buffer arena's pool counters (zero when
 // pooling is disabled).
 func (svc *Service) ArenaStats() netsim.ArenaStats { return svc.arena.Stats() }
 
 // Sessions snapshots the in-flight requests, oldest first.
-func (svc *Service) Sessions() []SessionInfo { return svc.sessions.snapshot() }
+func (svc *Service) Sessions() []SessionInfo { return svc.sessions.Snapshot() }
+
+// SessionCount counts the in-flight requests without building the
+// snapshot — the /v1/stats hot probe.
+func (svc *Service) SessionCount() int { return svc.sessions.Len() }
 
 // CancelSession aborts an in-flight request by ID, reporting whether
 // it was found. The cancelled call returns context.Canceled to its
 // own caller; nothing partial is cached.
-func (svc *Service) CancelSession(id int64) bool { return svc.sessions.cancelByID(id) }
+func (svc *Service) CancelSession(id int64) bool { return svc.sessions.CancelByID(id) }
 
 // resolveWorkers applies the request → service → all-CPUs default
 // chain.
@@ -116,17 +141,17 @@ func (svc *Service) Generate(ctx context.Context, req GenerateRequest) (*Generat
 	canonical := netsim.SpecString(scn)
 	net := netsim.ScaledNetwork(req.Hosts)
 	key := req.cacheKey(canonical, net.Len())
-	if v, ok := svc.cache.get(key); ok {
+	if v, ok := svc.cache.Get(key); ok {
 		return finishResult(v.(*GenerateResult), true, req.IncludeMatrices), nil
 	}
 	res, shared, err := svc.flights.do(ctx, key, func() (any, error) {
-		fctx, sess := svc.sessions.begin(ctx, "generate", key)
-		defer svc.sessions.end(sess)
+		fctx, end := svc.sessions.Begin(ctx, "generate", key)
+		defer end()
 		r, err := svc.generate(fctx, scn, canonical, net, req)
 		if err != nil {
 			return nil, sessionErr(fctx, err)
 		}
-		svc.cache.put(key, r)
+		svc.cache.Put(key, r)
 		return r, nil
 	})
 	if err != nil {
@@ -335,8 +360,8 @@ func (svc *Service) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 		}, nil
 	}
 
-	ctx, sess := svc.sessions.begin(ctx, "analyze", fmt.Sprintf("matrix %dx%d", len(req.Matrix), len(req.Matrix)))
-	defer svc.sessions.end(sess)
+	ctx, end := svc.sessions.Begin(ctx, "analyze", fmt.Sprintf("matrix %dx%d", len(req.Matrix), len(req.Matrix)))
+	defer end()
 	if len(req.Matrix) > MaxHosts {
 		return nil, fmt.Errorf("%w: matrix size %d exceeds the %d limit", ErrInvalidRequest, len(req.Matrix), MaxHosts)
 	}
@@ -455,17 +480,17 @@ func (svc *Service) Module(ctx context.Context, req ModuleRequest) (*core.Module
 	net := netsim.ScaledNetwork(req.Hosts)
 	p := netsim.Params{Duration: req.Duration, Rate: req.Rate, Scale: req.Scale}
 	key := paramsKey("module", netsim.SpecString(scn), net.Len(), req.Seed, p)
-	if v, ok := svc.cache.get(key); ok {
+	if v, ok := svc.cache.Get(key); ok {
 		return v.(*core.Module), nil
 	}
 	m, _, err := svc.flights.do(ctx, key, func() (any, error) {
-		fctx, sess := svc.sessions.begin(ctx, "module", key)
-		defer svc.sessions.end(sess)
+		fctx, end := svc.sessions.Begin(ctx, "module", key)
+		defer end()
 		m, err := bridge.AggregateModuleContext(fctx, scn, net, req.Seed, svc.resolveWorkers(0), p)
 		if err != nil {
 			return nil, sessionErr(fctx, err)
 		}
-		svc.cache.put(key, m)
+		svc.cache.Put(key, m)
 		return m, nil
 	})
 	if err != nil {
@@ -494,17 +519,17 @@ func (svc *Service) Campaign(ctx context.Context, req CampaignRequest) (*bridge.
 	p := netsim.Params{Duration: req.Duration, Rate: req.Rate, Scale: req.Scale}
 	key := paramsKey("campaign", netsim.SpecString(scn), net.Len(), req.Seed, p) +
 		fmt.Sprintf("|win=%g", req.Window)
-	if v, ok := svc.cache.get(key); ok {
+	if v, ok := svc.cache.Get(key); ok {
 		return v.(*bridge.Campaign), nil
 	}
 	c, _, err := svc.flights.do(ctx, key, func() (any, error) {
-		fctx, sess := svc.sessions.begin(ctx, "campaign", key)
-		defer svc.sessions.end(sess)
+		fctx, end := svc.sessions.Begin(ctx, "campaign", key)
+		defer end()
 		c, err := bridge.CampaignFromScenarioContext(fctx, scn, net, req.Seed, svc.resolveWorkers(0), p, req.Window)
 		if err != nil {
 			return nil, sessionErr(fctx, err)
 		}
-		svc.cache.put(key, c)
+		svc.cache.Put(key, c)
 		return c, nil
 	})
 	if err != nil {

@@ -233,8 +233,8 @@ func (svc *Service) GenerateStream(ctx context.Context, req GenerateRequest, emi
 	workers := svc.resolveWorkers(req.Workers)
 	p := req.params().Normalized()
 
-	fctx, sess := svc.sessions.begin(ctx, "stream", req.cacheKey(canonical, net.Len()))
-	defer svc.sessions.end(sess)
+	fctx, end := svc.sessions.Begin(ctx, "stream", req.cacheKey(canonical, net.Len()))
+	defer end()
 	// A consumer that fails mid-stream (hangup, encode error) must
 	// stop the generation workers promptly, not just surface an error
 	// after they finish the run: cancel the run's context on the first

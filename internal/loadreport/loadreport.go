@@ -1,0 +1,157 @@
+// Package loadreport is the shared vocabulary of the load-test
+// harness: twload records per-request latency samples into a
+// Collector and emits a Summary; benchguard -load reads Summary JSON
+// back and asserts the machine-independent invariants (zero errors,
+// warm ≪ cold, sharded ≥ single). Living in internal/ rather than
+// either cmd/ keeps the two binaries honest about one wire format.
+package loadreport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ClassStats summarizes one request class ("warm", "cold", "stream",
+// ...): count, errors, and the latency distribution in milliseconds.
+type ClassStats struct {
+	Class  string  `json:"class"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summary is one complete load run: the configuration that produced
+// it, the aggregate outcome, and the per-class breakdown.
+type Summary struct {
+	// Target configuration, recorded so a summary is self-describing.
+	Addr        string  `json:"addr,omitempty"`
+	Workers     int     `json:"workers"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Aggregate outcome.
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Throughput float64 `json:"throughput_rps"`
+
+	// Per-class latency breakdown, sorted by class name.
+	Classes []ClassStats `json:"classes"`
+}
+
+// Class returns the named class's stats and whether it was recorded.
+func (s Summary) Class(name string) (ClassStats, bool) {
+	for _, c := range s.Classes {
+		if c.Class == name {
+			return c, true
+		}
+	}
+	return ClassStats{}, false
+}
+
+// Percentile reads the p-th percentile (0 < p ≤ 100) from an
+// ascending-sorted slice using the nearest-rank method — the
+// conservative convention for latency reporting (p99 is a real
+// observed sample, never an interpolation below one).
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Collector accumulates latency samples from concurrent workers. The
+// zero value is unusable; build with NewCollector. Record is safe for
+// concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	samples map[string][]float64 // class → latencies, ms
+	errors  map[string]int
+}
+
+// NewCollector builds an empty collector.
+func NewCollector() *Collector {
+	return &Collector{samples: map[string][]float64{}, errors: map[string]int{}}
+}
+
+// Record adds one request outcome. Failed requests count toward the
+// class's error tally and are excluded from its latency distribution
+// (an error return is usually fast; mixing it in would flatter the
+// percentiles).
+func (c *Collector) Record(class string, latency time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.errors[class]++
+		return
+	}
+	c.samples[class] = append(c.samples[class], float64(latency)/float64(time.Millisecond))
+}
+
+// Summarize freezes the collected samples into a Summary for a run
+// that took elapsed wall-clock time.
+func (c *Collector) Summarize(elapsed time.Duration) Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Summary
+	s.DurationSec = elapsed.Seconds()
+	classes := make([]string, 0, len(c.samples)+len(c.errors))
+	seen := map[string]bool{}
+	for class := range c.samples {
+		classes, seen[class] = append(classes, class), true
+	}
+	for class := range c.errors {
+		if !seen[class] {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		lat := append([]float64(nil), c.samples[class]...)
+		sort.Float64s(lat)
+		st := ClassStats{Class: class, Count: len(lat) + c.errors[class], Errors: c.errors[class]}
+		if len(lat) > 0 {
+			sum := 0.0
+			for _, v := range lat {
+				sum += v
+			}
+			st.MeanMs = sum / float64(len(lat))
+			st.P50Ms = Percentile(lat, 50)
+			st.P90Ms = Percentile(lat, 90)
+			st.P99Ms = Percentile(lat, 99)
+			st.MaxMs = lat[len(lat)-1]
+		}
+		s.Requests += st.Count
+		s.Errors += st.Errors
+		s.Classes = append(s.Classes, st)
+	}
+	if s.DurationSec > 0 {
+		s.Throughput = float64(s.Requests) / s.DurationSec
+	}
+	return s
+}
+
+// String renders the summary as the human table twload prints.
+func (s Summary) String() string {
+	out := fmt.Sprintf("%d requests in %.1fs (%.1f req/s, %d errors, %d workers, concurrency %d)\n",
+		s.Requests, s.DurationSec, s.Throughput, s.Errors, s.Workers, s.Concurrency)
+	out += fmt.Sprintf("%-10s %8s %6s %10s %10s %10s %10s %10s\n",
+		"class", "count", "errs", "mean", "p50", "p90", "p99", "max")
+	for _, c := range s.Classes {
+		out += fmt.Sprintf("%-10s %8d %6d %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms\n",
+			c.Class, c.Count, c.Errors, c.MeanMs, c.P50Ms, c.P90Ms, c.P99Ms, c.MaxMs)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package loadreport
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5}, {90, 9}, {99, 10}, {100, 10}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %g", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile(single, 99) = %g", got)
+	}
+}
+
+func TestCollectorSummarize(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.Record("warm", time.Duration(i)*time.Millisecond, nil)
+	}
+	c.Record("cold", 500*time.Millisecond, nil)
+	c.Record("cold", 0, errors.New("boom"))
+
+	s := c.Summarize(10 * time.Second)
+	if s.Requests != 102 || s.Errors != 1 {
+		t.Fatalf("requests %d, errors %d", s.Requests, s.Errors)
+	}
+	if s.Throughput != 10.2 {
+		t.Errorf("throughput = %g", s.Throughput)
+	}
+	if len(s.Classes) != 2 || s.Classes[0].Class != "cold" || s.Classes[1].Class != "warm" {
+		t.Fatalf("classes = %+v", s.Classes)
+	}
+	warm, ok := s.Class("warm")
+	if !ok || warm.Count != 100 || warm.Errors != 0 {
+		t.Fatalf("warm = %+v", warm)
+	}
+	if warm.P50Ms != 50 || warm.P99Ms != 99 || warm.MaxMs != 100 {
+		t.Errorf("warm percentiles = p50 %g p99 %g max %g", warm.P50Ms, warm.P99Ms, warm.MaxMs)
+	}
+	cold, _ := s.Class("cold")
+	if cold.Count != 2 || cold.Errors != 1 || cold.P50Ms != 500 {
+		t.Errorf("cold = %+v (errors must not pollute the latency distribution)", cold)
+	}
+	if _, ok := s.Class("stream"); ok {
+		t.Error("Class found a class that was never recorded")
+	}
+}
+
+// TestCollectorErrorOnlyClass: a class whose every request failed
+// still appears in the summary — silent disappearance would make a
+// 100%-error run look clean.
+func TestCollectorErrorOnlyClass(t *testing.T) {
+	c := NewCollector()
+	c.Record("stream", 0, errors.New("refused"))
+	s := c.Summarize(time.Second)
+	st, ok := s.Class("stream")
+	if !ok || st.Count != 1 || st.Errors != 1 {
+		t.Fatalf("error-only class = %+v, ok=%v", st, ok)
+	}
+}
+
+func TestCollectorConcurrentRecord(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Record("warm", time.Millisecond, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Summarize(time.Second); s.Requests != 8000 {
+		t.Fatalf("requests = %d, want 8000", s.Requests)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	c := NewCollector()
+	c.Record("warm", 2*time.Millisecond, nil)
+	s := c.Summarize(time.Second)
+	s.Workers, s.Concurrency = 4, 8
+	out := s.String()
+	for _, want := range []string{"warm", "4 workers", "concurrency 8", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

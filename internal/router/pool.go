@@ -1,0 +1,136 @@
+package router
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/api"
+	"repro/internal/bridge"
+	"repro/internal/core"
+)
+
+// Pool fronts N in-process api.Service workers with one api.Core
+// surface. Request methods route by the request's canonical
+// RouteKey through the consistent hash ring, so every spelling of
+// one run — and its batch, analyze, and stream variants — lands on
+// one worker and shares that worker's cache, singleflight group, and
+// arena. Observability methods fan out: Sessions merges every
+// worker's in-flight list (IDs are process-unique because all
+// workers share one session ID source), CancelSession broadcasts,
+// and Stats reports per-worker per-shard detail.
+type Pool struct {
+	ring    *Ring
+	workers []*api.Service
+}
+
+var _ api.Core = (*Pool)(nil)
+
+// NewPool builds a fleet of n workers (minimum 1), each configured
+// with opts plus a shared session ID source.
+func NewPool(n int, opts ...api.Option) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	ids := new(atomic.Int64)
+	p := &Pool{ring: NewRing(n), workers: make([]*api.Service, n)}
+	for i := range p.workers {
+		p.workers[i] = api.New(append([]api.Option{api.WithSessionIDs(ids)}, opts...)...)
+	}
+	return p
+}
+
+// Size reports the worker count.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Worker returns the worker that owns key — exported for tests and
+// for front-ends that want to inspect routing.
+func (p *Pool) Worker(key string) *api.Service { return p.workers[p.ring.Pick(key)] }
+
+// Generate routes the request to its spec's worker.
+func (p *Pool) Generate(ctx context.Context, req api.GenerateRequest) (*api.GenerateResult, error) {
+	return p.Worker(req.RouteKey()).Generate(ctx, req)
+}
+
+// GenerateStream routes the stream to the same worker the batch
+// request would use, keeping arena and session locality.
+func (p *Pool) GenerateStream(ctx context.Context, req api.GenerateRequest, emit func(api.StreamFrame) error) error {
+	return p.Worker(req.RouteKey()).GenerateStream(ctx, req, emit)
+}
+
+// Analyze routes spec-path requests with their generate identity (so
+// they share the cached run) and matrix posts by shape.
+func (p *Pool) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResult, error) {
+	return p.Worker(req.RouteKey()).Analyze(ctx, req)
+}
+
+// Module routes by the module's cache identity.
+func (p *Pool) Module(ctx context.Context, req api.ModuleRequest) (*core.Module, error) {
+	return p.Worker(req.RouteKey()).Module(ctx, req)
+}
+
+// Campaign routes by the campaign's cache identity.
+func (p *Pool) Campaign(ctx context.Context, req api.CampaignRequest) (*bridge.Campaign, error) {
+	return p.Worker(req.RouteKey()).Campaign(ctx, req)
+}
+
+// Catalog is identical on every worker; the first answers.
+func (p *Pool) Catalog(ctx context.Context) *api.CatalogResult {
+	return p.workers[0].Catalog(ctx)
+}
+
+// Sessions merges every worker's in-flight sessions, ordered by ID
+// (process-unique, so the merge is a plain sort).
+func (p *Pool) Sessions() []api.SessionInfo {
+	var out []api.SessionInfo
+	for _, w := range p.workers {
+		out = append(out, w.Sessions()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CancelSession broadcasts the cancel: IDs are process-unique, so at
+// most one worker holds the session.
+func (p *Pool) CancelSession(id int64) bool {
+	for _, w := range p.workers {
+		if w.CancelSession(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// CacheStats aggregates the fleet's cache counters. The Shards
+// breakdown here is per *worker* (each entry a worker's own
+// aggregate, its per-stripe detail elided); /v1/stats carries the
+// full worker × stripe matrix.
+func (p *Pool) CacheStats() api.CacheStats {
+	var agg api.CacheStats
+	agg.Shards = make([]api.CacheStats, len(p.workers))
+	for i, w := range p.workers {
+		st := w.CacheStats()
+		st.Shards = nil
+		agg.Shards[i] = st
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Len += st.Len
+		agg.Capacity += st.Capacity
+	}
+	return agg
+}
+
+// Stats reports the full per-worker, per-shard breakdown.
+func (p *Pool) Stats() api.StatsReport {
+	rep := api.StatsReport{Version: api.Version, Workers: make([]api.WorkerStats, len(p.workers))}
+	for i, w := range p.workers {
+		rep.Workers[i] = api.WorkerStats{
+			Worker:   i,
+			Cache:    w.CacheStats(),
+			Sessions: w.SessionCount(),
+			Arena:    w.ArenaStats(),
+		}
+	}
+	return rep
+}

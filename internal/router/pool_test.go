@@ -1,0 +1,283 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/netsim"
+)
+
+// paritySpecs is the acceptance surface: every catalog scenario plus
+// composed mixtures exercising the algebra.
+func paritySpecs(t *testing.T) []string {
+	t.Helper()
+	var specs []string
+	for _, s := range netsim.Scenarios() {
+		specs = append(specs, s.Name())
+	}
+	return append(specs,
+		"overlay(background, sequence(scan, ddos))",
+		"amplify(sequence(beacon@5s, exfil), 3)",
+	)
+}
+
+// resultFingerprint serializes everything bit-identity covers: the
+// full wire form (with dense cells so every matrix entry is
+// compared), minus the per-run wall-clock timings and cache marker.
+func resultFingerprint(t *testing.T, res *api.GenerateResult) string {
+	t.Helper()
+	cp := *res
+	cp.Timings = api.Timings{}
+	cp.CacheHit = false
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPoolParitySingleVsSharded is the tentpole acceptance: a
+// 4-worker sharded pool returns bit-identical results to a 1-worker
+// pool for the whole catalog and composed specs.
+func TestPoolParitySingleVsSharded(t *testing.T) {
+	single := NewPool(1, api.WithShards(1))
+	sharded := NewPool(4)
+	for _, spec := range paritySpecs(t) {
+		req := api.NewGenerateRequest(spec,
+			api.WithSeed(5), api.WithHosts(20), api.WithParams(6, 20, 1),
+			api.WithWindow(3), api.WithMatrices())
+		a, err := single.Generate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: single: %v", spec, err)
+		}
+		b, err := sharded.Generate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: sharded: %v", spec, err)
+		}
+		if resultFingerprint(t, a) != resultFingerprint(t, b) {
+			t.Errorf("%s: sharded result differs from single-worker result", spec)
+		}
+	}
+}
+
+// TestPoolStreamParity: the streamed frames through a sharded pool
+// match the single pool frame for frame (timings elided).
+func TestPoolStreamParity(t *testing.T) {
+	req := api.NewGenerateRequest("overlay(background, sequence(scan, ddos))",
+		api.WithSeed(9), api.WithHosts(20), api.WithParams(8, 20, 1), api.WithWindow(2))
+	collect := func(p *Pool) []string {
+		var frames []string
+		err := p.GenerateStream(context.Background(), req, func(f api.StreamFrame) error {
+			if f.Summary != nil {
+				cp := *f.Summary
+				cp.Timings = api.Timings{}
+				f.Summary = &cp
+			}
+			b, err := json.Marshal(f)
+			if err != nil {
+				return err
+			}
+			frames = append(frames, string(b))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frames
+	}
+	a, b := collect(NewPool(1, api.WithShards(1))), collect(NewPool(4))
+	if len(a) != len(b) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("frame %d differs:\nsingle:  %s\nsharded: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPoolRoutesRespellingsToOneWorker: every spelling of one run
+// hashes to one worker, so the second spelling is a cache hit even
+// though each worker has a private cache.
+func TestPoolRoutesRespellingsToOneWorker(t *testing.T) {
+	p := NewPool(4)
+	base := api.NewGenerateRequest("overlay(background, sequence(scan, ddos))",
+		api.WithSeed(7), api.WithHosts(20), api.WithParams(6, 20, 1))
+	respelled := api.NewGenerateRequest("  overlay( background ,sequence( scan,ddos ) ) ",
+		api.WithSeed(7), api.WithHosts(20), api.WithParams(6, 20, 1))
+
+	cold, err := p.Generate(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	warm, err := p.Generate(context.Background(), respelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("respelled spec missed the cache: router sent it to a different worker")
+	}
+
+	// Cross-method affinity: an Analyze of the same spec shares the
+	// worker — and therefore the cached run — of the windowless
+	// Generate it desugars to.
+	if _, err := p.Generate(context.Background(), api.NewGenerateRequest("ddos", api.WithSeed(3))); err != nil {
+		t.Fatal(err)
+	}
+	ares, err := p.Analyze(context.Background(), api.AnalyzeRequest{Spec: "ddos", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ares.CacheHit {
+		t.Error("analyze of a generated spec missed the cache: route keys diverged")
+	}
+}
+
+// TestPoolSpreadsSpecsAcrossWorkers: distinct specs do not all pile
+// onto one worker — over the catalog plus seeds, at least two of
+// four workers see traffic (with 128 vnodes the real spread is much
+// better; this is the safety floor).
+func TestPoolSpreadsSpecsAcrossWorkers(t *testing.T) {
+	p := NewPool(4)
+	seen := map[*api.Service]bool{}
+	for i := 0; i < 32; i++ {
+		req := api.NewGenerateRequest("background", api.WithSeed(int64(i)), api.WithHosts(10+i))
+		seen[p.Worker(req.RouteKey())] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("32 distinct requests all routed to %d worker(s)", len(seen))
+	}
+}
+
+// slowPoolScenario mirrors the api package's slow scenario so pool
+// session tests have something long-running to observe and cancel.
+type slowPoolScenario struct{}
+
+func (slowPoolScenario) Name() string                              { return "router-slow-test" }
+func (slowPoolScenario) Description() string                       { return "slow scenario for router tests" }
+func (slowPoolScenario) Shape() string                             { return "one cell, slowly" }
+func (slowPoolScenario) Chunks(*netsim.Network, netsim.Params) int { return 400 }
+func (slowPoolScenario) Emit(net *netsim.Network, rng *rand.Rand, p netsim.Params, chunk int, emit func(netsim.Event)) error {
+	time.Sleep(5 * time.Millisecond)
+	emit(netsim.Event{Time: 0, Src: "WS1", Dst: "SRV1", Packets: 1})
+	return nil
+}
+
+var registerSlowPool sync.Once
+
+func slowPoolSpec(t *testing.T) string {
+	t.Helper()
+	registerSlowPool.Do(func() {
+		if err := netsim.Register(slowPoolScenario{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return "router-slow-test"
+}
+
+// TestPoolSessionsMergeAndCancel: concurrent in-flight runs on a
+// sharded pool surface in one merged ID-sorted session list with
+// process-unique IDs, and pool-level CancelSession finds a session
+// whichever worker holds it.
+func TestPoolSessionsMergeAndCancel(t *testing.T) {
+	spec := slowPoolSpec(t)
+	p := NewPool(4)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds → distinct keys → (very likely) several
+			// workers; each run is slow enough to observe.
+			_, errs[i] = p.Generate(context.Background(),
+				api.NewGenerateRequest(spec, api.WithSeed(int64(i)), api.WithWorkers(1)))
+		}(i)
+	}
+
+	var sessions []api.SessionInfo
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sessions = p.Sessions()
+		if len(sessions) == 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(sessions) != 3 {
+		t.Fatalf("pool reports %d sessions, want 3", len(sessions))
+	}
+	ids := map[int64]bool{}
+	for i, s := range sessions {
+		if ids[s.ID] {
+			t.Fatalf("duplicate session ID %d across workers", s.ID)
+		}
+		ids[s.ID] = true
+		if i > 0 && sessions[i-1].ID > s.ID {
+			t.Fatalf("merged session list not sorted by ID: %+v", sessions)
+		}
+	}
+
+	// Cancel them all through the pool façade.
+	for _, s := range sessions {
+		if !p.CancelSession(s.ID) {
+			t.Errorf("CancelSession(%d) found nothing", s.ID)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, api.ErrSessionCancelled) {
+			t.Errorf("run %d: err = %v, want ErrSessionCancelled", i, err)
+		}
+	}
+	if got := p.Sessions(); len(got) != 0 {
+		t.Errorf("pool still reports %d sessions after cancel", len(got))
+	}
+	if p.CancelSession(sessions[0].ID) {
+		t.Error("CancelSession found a finished session")
+	}
+}
+
+// TestPoolStatsShape: /v1/stats carries one entry per worker with
+// the per-stripe cache breakdown, and the pool-level CacheStats
+// aggregates worker totals.
+func TestPoolStatsShape(t *testing.T) {
+	p := NewPool(4, api.WithCacheCapacity(32))
+	for i := 0; i < 6; i++ {
+		if _, err := p.Generate(context.Background(),
+			api.NewGenerateRequest("scan", api.WithSeed(int64(i)), api.WithParams(2, 10, 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := p.Stats()
+	if rep.Version != api.Version || len(rep.Workers) != 4 {
+		t.Fatalf("stats report = version %q, %d workers", rep.Version, len(rep.Workers))
+	}
+	totalLen := 0
+	for i, w := range rep.Workers {
+		if w.Worker != i {
+			t.Errorf("worker %d labeled %d", i, w.Worker)
+		}
+		if len(w.Cache.Shards) == 0 {
+			t.Errorf("worker %d stats carry no per-shard cache breakdown", i)
+		}
+		totalLen += w.Cache.Len
+	}
+	if totalLen != 6 {
+		t.Errorf("workers hold %d cached runs total, want 6", totalLen)
+	}
+	agg := p.CacheStats()
+	if agg.Len != 6 || len(agg.Shards) != 4 || agg.Capacity != 4*32 {
+		t.Errorf("pool CacheStats = len %d, %d worker entries, capacity %d", agg.Len, len(agg.Shards), agg.Capacity)
+	}
+}

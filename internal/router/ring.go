@@ -1,0 +1,121 @@
+// Package router shards the service core horizontally: a consistent
+// hash ring maps canonical request keys (netsim.SpecString plus
+// normalized parameters — the same identity the result cache uses)
+// onto a fleet of api.Service workers, and a Pool fronts that fleet
+// with the full api.Core surface. The same spec always lands on the
+// same worker, so worker-local caches and singleflight coalescing
+// keep composing across clients; adding or removing a worker moves
+// only ~K/N of the keyspace (the consistent-hashing guarantee the
+// ring property tests pin), so warm cache entries largely survive
+// fleet resizes.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/api"
+)
+
+// DefaultReplicas is the virtual-node count per worker. More vnodes
+// smooth the keyspace split (the expected per-worker load imbalance
+// shrinks like 1/√replicas) at the cost of a longer sorted point
+// list; 128 keeps the max/mean load under ~1.3 for small fleets.
+const DefaultReplicas = 128
+
+// point is one virtual node: a position on the ring and the worker
+// that owns the arc ending there.
+type point struct {
+	hash   uint64
+	worker int
+}
+
+// Ring is a consistent hash ring over integer worker indices. The
+// zero value is unusable; build with NewRing. Ring is not safe for
+// concurrent mutation (Add/Remove); Pick is read-only and safe to
+// call concurrently once the ring is built.
+type Ring struct {
+	replicas int
+	points   []point // sorted by hash
+	workers  map[int]bool
+}
+
+// RingOption configures a Ring under construction.
+type RingOption func(*Ring)
+
+// WithReplicas sets the virtual-node count per worker (minimum 1).
+func WithReplicas(n int) RingOption {
+	return func(r *Ring) {
+		if n > 0 {
+			r.replicas = n
+		}
+	}
+}
+
+// NewRing builds a ring over workers 0..n-1.
+func NewRing(n int, opts ...RingOption) *Ring {
+	r := &Ring{replicas: DefaultReplicas, workers: map[int]bool{}}
+	for _, opt := range opts {
+		opt(r)
+	}
+	for w := 0; w < n; w++ {
+		r.Add(w)
+	}
+	return r
+}
+
+// vnodeHash positions one of a worker's virtual nodes. api.KeyHash
+// is the same avalanche-finalized hash the cache stripes use, so
+// vnode positions and key positions draw from one well-mixed space.
+func vnodeHash(worker, replica int) uint64 {
+	return api.KeyHash(fmt.Sprintf("worker/%d/vnode/%d", worker, replica))
+}
+
+// Add inserts a worker's virtual nodes. Adding an existing worker is
+// a no-op, so rebuilding a ring from a worker list is idempotent.
+func (r *Ring) Add(worker int) {
+	if r.workers[worker] {
+		return
+	}
+	r.workers[worker] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: vnodeHash(worker, i), worker: worker})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a worker's virtual nodes; keys it owned fall to the
+// next vnode clockwise, and every other key keeps its worker — the
+// bounded-movement half of the consistency property.
+func (r *Ring) Remove(worker int) {
+	if !r.workers[worker] {
+		return
+	}
+	delete(r.workers, worker)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.worker != worker {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Size reports the live worker count.
+func (r *Ring) Size() int { return len(r.workers) }
+
+// Pick returns the worker owning key: the first virtual node at or
+// clockwise after the key's hash. A single-worker ring always
+// returns that worker; Pick panics on an empty ring (a fleet of zero
+// workers cannot serve anything, and the Pool never builds one).
+func (r *Ring) Pick(key string) int {
+	if len(r.points) == 0 {
+		panic("router: Pick on an empty ring")
+	}
+	h := api.KeyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest vnode
+	}
+	return r.points[i].worker
+}

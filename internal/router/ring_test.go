@@ -1,0 +1,139 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys builds K canonical-shaped keys like the ones the service
+// actually routes.
+func testKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v1|gen|spec=overlay(background,scan-%d)|n=%d|seed=%d|dur=40|rate=8|scale=4|win=10",
+			i%97, 10+i%500, i)
+	}
+	return keys
+}
+
+// TestRingPickDeterministic: the same key on the same fleet always
+// lands on the same worker, across repeated picks and across
+// independently built rings — the property that lets any front-end
+// replica route identically without coordination.
+func TestRingPickDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		a, b := NewRing(n), NewRing(n)
+		for _, key := range testKeys(500) {
+			w := a.Pick(key)
+			if w < 0 || w >= n {
+				t.Fatalf("n=%d: Pick(%q) = %d, out of range", n, key, w)
+			}
+			if a.Pick(key) != w || b.Pick(key) != w {
+				t.Fatalf("n=%d: Pick(%q) unstable across picks or ring builds", n, key)
+			}
+		}
+	}
+}
+
+// TestRingSingleWorkerOwnsEverything: a 1-worker ring is the
+// degenerate identity the single-vs-sharded parity suite leans on.
+func TestRingSingleWorkerOwnsEverything(t *testing.T) {
+	r := NewRing(1)
+	for _, key := range testKeys(100) {
+		if w := r.Pick(key); w != 0 {
+			t.Fatalf("1-worker ring sent %q to worker %d", key, w)
+		}
+	}
+}
+
+// TestRingDistribution: with DefaultReplicas vnodes the keyspace
+// split is usably even — every worker owns real load, and no worker
+// owns more than ~2× its fair share.
+func TestRingDistribution(t *testing.T) {
+	const K = 20000
+	for _, n := range []int{2, 4, 8} {
+		r := NewRing(n)
+		counts := make([]int, n)
+		for _, key := range testKeys(K) {
+			counts[r.Pick(key)]++
+		}
+		fair := K / n
+		for w, c := range counts {
+			if c < fair/3 {
+				t.Errorf("n=%d: worker %d owns %d of %d keys (fair %d) — starved", n, w, c, K, fair)
+			}
+			if c > 2*fair {
+				t.Errorf("n=%d: worker %d owns %d of %d keys (fair %d) — overloaded", n, w, c, K, fair)
+			}
+		}
+	}
+}
+
+// TestRingBoundedMovementOnGrow is the consistent-hashing property
+// the tentpole names: growing the fleet from N to N+1 moves at most
+// ~K/(N+1) keys (we allow 2× for vnode variance), and every moved
+// key moves *to the new worker* — no key shuffles between old
+// workers.
+func TestRingBoundedMovementOnGrow(t *testing.T) {
+	const K = 20000
+	keys := testKeys(K)
+	for _, n := range []int{1, 2, 4, 7} {
+		before := NewRing(n)
+		owners := make([]int, K)
+		for i, key := range keys {
+			owners[i] = before.Pick(key)
+		}
+		after := NewRing(n)
+		after.Add(n) // grow to n+1
+		moved := 0
+		for i, key := range keys {
+			w := after.Pick(key)
+			if w != owners[i] {
+				moved++
+				if w != n {
+					t.Fatalf("n=%d→%d: key %q moved from worker %d to OLD worker %d", n, n+1, key, owners[i], w)
+				}
+			}
+		}
+		limit := 2 * K / (n + 1)
+		if moved > limit {
+			t.Errorf("n=%d→%d: %d of %d keys moved, want ≤ %d (~K/N)", n, n+1, moved, K, limit)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d→%d: no keys moved; the new worker owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestRingRemoveRestoresAssignments: removing a worker scatters only
+// its keys to survivors, and re-adding it restores the original
+// assignment exactly — vnode positions are a pure function of the
+// worker index.
+func TestRingRemoveRestoresAssignments(t *testing.T) {
+	const K = 5000
+	keys := testKeys(K)
+	r := NewRing(4)
+	owners := make([]int, K)
+	for i, key := range keys {
+		owners[i] = r.Pick(key)
+	}
+	r.Remove(2)
+	if r.Size() != 3 {
+		t.Fatalf("size after remove = %d", r.Size())
+	}
+	for i, key := range keys {
+		w := r.Pick(key)
+		if owners[i] != 2 && w != owners[i] {
+			t.Fatalf("key %q owned by %d moved to %d when worker 2 left", key, owners[i], w)
+		}
+		if owners[i] == 2 && w == 2 {
+			t.Fatalf("key %q still routed to removed worker 2", key)
+		}
+	}
+	r.Add(2)
+	for i, key := range keys {
+		if w := r.Pick(key); w != owners[i] {
+			t.Fatalf("key %q owner %d not restored after re-add (got %d)", key, owners[i], w)
+		}
+	}
+}
