@@ -8,28 +8,44 @@ import (
 	"repro/internal/loadreport"
 )
 
-// loadFile is the combined load snapshot the CI smoke job assembles:
-// one twload summary against `twserve -workers 1` and one against the
-// sharded fleet. (BENCH_PR8.json in the repo root is this shape.)
+// loadFile is the combined load snapshot a CI smoke job assembles.
+// Two shapes exist, distinguished by which fields are present:
+//
+//   - PR 8 (sharded core):   {"single": …, "sharded": …}
+//   - PR 9 (cluster proxy):  {"direct": …, "proxy": …, "membership": …}
+//
+// where direct is twload against one backend twserve, proxy is the
+// same load through `twserve -proxy` fronting the backends, and
+// membership is a proxy run during which a backend was added and
+// removed mid-load.
 type loadFile struct {
-	Single  loadreport.Summary `json:"single"`
-	Sharded loadreport.Summary `json:"sharded"`
+	Single  *loadreport.Summary `json:"single,omitempty"`
+	Sharded *loadreport.Summary `json:"sharded,omitempty"`
+
+	Direct     *loadreport.Summary `json:"direct,omitempty"`
+	Proxy      *loadreport.Summary `json:"proxy,omitempty"`
+	Membership *loadreport.Summary `json:"membership,omitempty"`
 }
 
 // runLoadGate checks the machine-independent invariants of a combined
 // load snapshot and returns the process exit code. Latency and
 // throughput numbers themselves vary wildly across runners, so the
-// gate pins only the *shape* a healthy sharded core produces:
+// gate pins only the *shape* a healthy service produces:
 //
-//   - both runs delivered load and saw zero errors;
-//   - warm p50 sits at least warmFactor below cold p50 in both runs
-//     (the cache and the router's spec affinity are working — a
-//     misrouted respelling or a poisoned cache collapses this gap);
-//   - the sharded fleet's throughput is at least minSpeedup × the
-//     single worker's (CI uses 1.0 — "sharding must not cost
-//     throughput" — because the runner's core count is unknown;
-//     multi-core measurements land in EXPERIMENTS.md).
-func runLoadGate(path string, warmFactor, minSpeedup float64) int {
+//   - every run present delivered load and saw zero errors — for the
+//     membership run that means zero dropped requests across a live
+//     backend add + remove;
+//   - warm p50 sits at least warmFactor below cold p50 in every
+//     steady-state run (the cache and spec affinity are working — a
+//     misrouted respelling or a poisoned cache collapses this gap;
+//     the churning membership run is exempt from latency shape);
+//   - sharded throughput ≥ minSpeedup × single (PR 8 pair);
+//   - proxy cold p50 ≤ maxOverhead × direct cold p50 (the HTTP hop
+//     may tax the compute-bound floor only so much);
+//   - the proxy run's warm-class cache hit rate ≥ minHitRate (ring
+//     affinity holds across processes: warm repeats keep landing on
+//     the backend already holding the run).
+func runLoadGate(path string, warmFactor, minSpeedup, maxOverhead, minHitRate float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: read load snapshot: %v\n", err)
@@ -51,13 +67,31 @@ func runLoadGate(path string, warmFactor, minSpeedup float64) int {
 		}
 	}
 
-	for _, run := range []struct {
+	runs := []struct {
 		name string
-		s    loadreport.Summary
-	}{{"single", lf.Single}, {"sharded", lf.Sharded}} {
+		s    *loadreport.Summary
+		// steady runs must show the warm ≪ cold latency shape; the
+		// membership-churn run only has to stay error-free.
+		steady bool
+	}{
+		{"single", lf.Single, true},
+		{"sharded", lf.Sharded, true},
+		{"direct", lf.Direct, true},
+		{"proxy", lf.Proxy, true},
+		{"membership", lf.Membership, false},
+	}
+	present := 0
+	for _, run := range runs {
+		if run.s == nil {
+			continue
+		}
+		present++
 		check(run.s.Requests > 0, "%s: delivered load (%d requests, %.1f req/s, %d workers)",
 			run.name, run.s.Requests, run.s.Throughput, run.s.Workers)
 		check(run.s.Errors == 0, "%s: zero errors (got %d)", run.name, run.s.Errors)
+		if !run.steady {
+			continue
+		}
 		warm, okW := run.s.Class("warm")
 		cold, okC := run.s.Class("cold")
 		check(okW && okC, "%s: warm and cold classes both sampled", run.name)
@@ -67,10 +101,32 @@ func runLoadGate(path string, warmFactor, minSpeedup float64) int {
 				run.name, warm.P50Ms, cold.P50Ms, warmFactor)
 		}
 	}
-	if lf.Single.Throughput > 0 {
+	if present == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s holds no load runs benchguard knows\n", path)
+		return 2
+	}
+
+	if lf.Single != nil && lf.Sharded != nil && lf.Single.Throughput > 0 {
 		check(lf.Sharded.Throughput >= minSpeedup*lf.Single.Throughput,
 			"sharded throughput %.1f req/s ≥ %g × single %.1f req/s",
 			lf.Sharded.Throughput, minSpeedup, lf.Single.Throughput)
+	}
+
+	if lf.Direct != nil && lf.Proxy != nil {
+		dcold, okD := lf.Direct.Class("cold")
+		pcold, okP := lf.Proxy.Class("cold")
+		if okD && okP && dcold.P50Ms > 0 {
+			check(pcold.P50Ms <= maxOverhead*dcold.P50Ms,
+				"proxy cold p50 %.2fms ≤ %g × direct cold p50 %.2fms (hop overhead bounded)",
+				pcold.P50Ms, maxOverhead, dcold.P50Ms)
+		}
+		if warm, ok := lf.Proxy.Class("warm"); ok && warm.CacheLookups > 0 {
+			check(warm.HitRate() >= minHitRate,
+				"proxy warm hit rate %.0f%% ≥ %.0f%% (ring affinity across processes)",
+				100*warm.HitRate(), 100*minHitRate)
+		} else {
+			check(false, "proxy: warm class carries cache counters (affinity is measurable)")
+		}
 	}
 
 	if failed > 0 {

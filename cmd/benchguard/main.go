@@ -5,13 +5,19 @@
 //
 //	benchguard -baseline BENCH_PR7.json -current fresh.json
 //
-// With -load it instead gates a combined twload snapshot (the
-// {"single": …, "sharded": …} shape the CI load-smoke job writes),
-// asserting the machine-independent load invariants — zero errors,
-// warm p50 far below cold p50, sharded throughput at least matching
-// the single worker:
+// With -load it instead gates a combined twload snapshot, asserting
+// the machine-independent load invariants — zero errors, warm p50
+// far below cold p50, sharded throughput at least matching the
+// single worker. Two snapshot shapes are understood: the sharded-core
+// pair ({"single": …, "sharded": …}, BENCH_PR8.json) and the cluster
+// proxy triple ({"direct": …, "proxy": …, "membership": …},
+// BENCH_PR9.json), which additionally bounds the proxy's cold-path
+// hop overhead (-max-overhead) and pins the proxy's warm-class cache
+// hit rate (-min-hit-rate) so cross-process ring affinity stays
+// measurable:
 //
 //	benchguard -load BENCH_PR8.current.json
+//	benchguard -load BENCH_PR9.current.json
 //
 // Both files may be either raw `go test -bench` output or the
 // test2json stream produced by `go test -json` (the committed
@@ -119,9 +125,11 @@ func main() {
 	loadPath := flag.String("load", "", "gate a combined twload snapshot instead of allocs/op")
 	warmFactor := flag.Float64("warm-factor", 10, "with -load: required cold-p50 / warm-p50 ratio")
 	minSpeedup := flag.Float64("min-speedup", 1.0, "with -load: required sharded/single throughput ratio")
+	maxOverhead := flag.Float64("max-overhead", 3.0, "with -load: allowed proxy/direct cold-p50 ratio")
+	minHitRate := flag.Float64("min-hit-rate", 0.5, "with -load: required proxy warm-class cache hit rate")
 	flag.Parse()
 	if *loadPath != "" {
-		os.Exit(runLoadGate(*loadPath, *warmFactor, *minSpeedup))
+		os.Exit(runLoadGate(*loadPath, *warmFactor, *minSpeedup, *maxOverhead, *minHitRate))
 	}
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are both required")

@@ -164,13 +164,16 @@ func run(ctx context.Context, cfg config) (loadreport.Summary, error) {
 			for time.Now().Before(deadline) {
 				class, call := pick(rng, &coldSeq)
 				t0 := time.Now()
-				err := call(runCtx, client, cfg.addr)
+				cache, err := call(runCtx, client, cfg.addr)
 				if runCtx.Err() != nil && err != nil {
 					// The deadline tripped mid-request; an aborted tail
 					// request is not a server error.
 					break
 				}
 				collector.Record(class, time.Since(t0), err)
+				if err == nil && cache != "" {
+					collector.RecordCache(class, cache == "hit")
+				}
 			}
 		}(g)
 	}
@@ -184,7 +187,7 @@ func run(ctx context.Context, cfg config) (loadreport.Summary, error) {
 }
 
 // pick selects a request class and returns its caller.
-func pick(rng *rand.Rand, coldSeq *atomic.Int64) (string, func(context.Context, *http.Client, string) error) {
+func pick(rng *rand.Rand, coldSeq *atomic.Int64) (string, callFunc) {
 	switch n := rng.Intn(100); {
 	case n < pctWarm:
 		req := warmSet[rng.Intn(len(warmSet))]
@@ -241,55 +244,60 @@ func postJSON(ctx context.Context, client *http.Client, url string, body any) (*
 	return client.Do(req)
 }
 
+// callFunc issues one request and reports the response's X-Cache
+// marker ("hit"/"miss", empty for routes without one) alongside any
+// failure.
+type callFunc func(context.Context, *http.Client, string) (string, error)
+
 // generateCall posts a batch generate and drains the body (the
 // response must be fully received for the latency to mean anything).
-func generateCall(greq api.GenerateRequest) func(context.Context, *http.Client, string) error {
-	return func(ctx context.Context, client *http.Client, addr string) error {
+func generateCall(greq api.GenerateRequest) callFunc {
+	return func(ctx context.Context, client *http.Client, addr string) (string, error) {
 		resp, err := postJSON(ctx, client, addr+"/v1/generate", greq)
 		if err != nil {
-			return err
+			return "", err
 		}
 		defer resp.Body.Close()
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			return err
+			return "", err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("generate %s: status %d", greq.Spec, resp.StatusCode)
+			return "", fmt.Errorf("generate %s: status %d", greq.Spec, resp.StatusCode)
 		}
-		return nil
+		return resp.Header.Get("X-Cache"), nil
 	}
 }
 
-func moduleCall(pattern string) func(context.Context, *http.Client, string) error {
-	return func(ctx context.Context, client *http.Client, addr string) error {
+func moduleCall(pattern string) callFunc {
+	return func(ctx context.Context, client *http.Client, addr string) (string, error) {
 		resp, err := postJSON(ctx, client, addr+"/v1/module", api.ModuleRequest{Pattern: pattern})
 		if err != nil {
-			return err
+			return "", err
 		}
 		defer resp.Body.Close()
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			return err
+			return "", err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("module %s: status %d", pattern, resp.StatusCode)
+			return "", fmt.Errorf("module %s: status %d", pattern, resp.StatusCode)
 		}
-		return nil
+		return "", nil
 	}
 }
 
 // streamCall posts a streaming generate and reads every NDJSON frame;
 // the request only counts as successful if the stream closes with a
 // summary frame (an error frame or a truncated stream is a failure).
-func streamCall(greq api.GenerateRequest) func(context.Context, *http.Client, string) error {
-	return func(ctx context.Context, client *http.Client, addr string) error {
+func streamCall(greq api.GenerateRequest) callFunc {
+	return func(ctx context.Context, client *http.Client, addr string) (string, error) {
 		resp, err := postJSON(ctx, client, addr+"/v1/generate/stream", greq)
 		if err != nil {
-			return err
+			return "", err
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			io.Copy(io.Discard, resp.Body)
-			return fmt.Errorf("stream %s: status %d", greq.Spec, resp.StatusCode)
+			return "", fmt.Errorf("stream %s: status %d", greq.Spec, resp.StatusCode)
 		}
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -297,19 +305,19 @@ func streamCall(greq api.GenerateRequest) func(context.Context, *http.Client, st
 		for sc.Scan() {
 			var f api.StreamFrame
 			if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
-				return fmt.Errorf("stream %s: bad frame: %w", greq.Spec, err)
+				return "", fmt.Errorf("stream %s: bad frame: %w", greq.Spec, err)
 			}
 			if f.Type == api.FrameError {
-				return fmt.Errorf("stream %s: server error frame: %s", greq.Spec, f.Error)
+				return "", fmt.Errorf("stream %s: server error frame: %s", greq.Spec, f.Error)
 			}
 			last = f.Type
 		}
 		if err := sc.Err(); err != nil {
-			return err
+			return "", err
 		}
 		if last != api.FrameSummary {
-			return fmt.Errorf("stream %s: truncated (last frame %q)", greq.Spec, last)
+			return "", fmt.Errorf("stream %s: truncated (last frame %q)", greq.Spec, last)
 		}
-		return nil
+		return "", nil
 	}
 }

@@ -2,70 +2,25 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/router"
+	"repro/internal/serve"
 )
 
-// testServer is a thin shim over a worker pool exposing exactly the
-// routes twload drives. (cmd packages cannot import each other, so
-// the full twserve mux is not available here; the real end-to-end
-// pairing is exercised by the CI load-smoke job.)
+// testServer serves the real twserve route table (internal/serve)
+// over a worker pool — the exact handler stack twload drives in
+// production, X-Cache markers included.
 func testServer(t *testing.T, workers int) *httptest.Server {
 	t.Helper()
 	core := api.Core(api.New())
 	if workers > 1 {
 		core = router.NewPool(workers)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(core.Stats())
-	})
-	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
-		var req api.GenerateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, err := core.Generate(r.Context(), req)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		json.NewEncoder(w).Encode(res)
-	})
-	mux.HandleFunc("POST /v1/generate/stream", func(w http.ResponseWriter, r *http.Request) {
-		var req api.GenerateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		err := core.GenerateStream(r.Context(), req, func(f api.StreamFrame) error {
-			return api.EncodeFrame(w, f)
-		})
-		if err != nil {
-			api.EncodeFrame(w, api.StreamFrame{Type: api.FrameError, Error: err.Error()})
-		}
-	})
-	mux.HandleFunc("POST /v1/module", func(w http.ResponseWriter, r *http.Request) {
-		var req api.ModuleRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		m, err := core.Module(r.Context(), req)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		json.NewEncoder(w).Encode(m)
-	})
-	srv := httptest.NewServer(mux)
+	srv := httptest.NewServer(serve.NewMux(core))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -116,6 +71,18 @@ func TestRunMixedLoad(t *testing.T) {
 	if okW && okC && warm.P50Ms >= cold.P50Ms {
 		t.Errorf("warm p50 %.2fms not below cold p50 %.2fms — cache not visible in the load shape",
 			warm.P50Ms, cold.P50Ms)
+	}
+	// Generate-class requests carry the X-Cache marker: warm repeats
+	// are nearly all hits, cold unique seeds never hit.
+	if okW {
+		if warm.CacheLookups == 0 {
+			t.Error("warm class recorded no cache lookups — X-Cache capture lost")
+		} else if warm.HitRate() < 0.5 {
+			t.Errorf("warm hit rate %.0f%% below 50%% — cache counters implausible", 100*warm.HitRate())
+		}
+	}
+	if okC && cold.CacheHits != 0 {
+		t.Errorf("cold class recorded %d cache hits; unique seeds can never hit", cold.CacheHits)
 	}
 }
 

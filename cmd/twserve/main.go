@@ -3,18 +3,11 @@
 // is a thin JSON shim over one Service method — the same methods the
 // twsim and twmodule CLIs call in-process — so a classroom of
 // clients shares one deterministic result cache and one session
-// registry.
+// registry. The route table itself lives in internal/serve; this
+// binary only picks which core to put behind it:
 //
 //	twserve -addr :8080 -workers 4
-//
-//	GET  /v1/catalog          scenario + figure-pattern catalog
-//	POST /v1/generate         api.GenerateRequest  → api.GenerateResult
-//	POST /v1/generate/stream  api.GenerateRequest  → NDJSON frame stream
-//	POST /v1/analyze          api.AnalyzeRequest   → api.AnalyzeResult
-//	POST /v1/module           api.ModuleRequest    → core.Module JSON
-//	GET  /v1/sessions         in-flight work (merged across workers)
-//	GET  /v1/cache            result-cache counters (fleet aggregate)
-//	GET  /v1/stats            per-worker, per-shard counters
+//	twserve -addr :8080 -proxy http://10.0.0.7:8080,http://10.0.0.8:8080
 //
 // With -workers N > 1 the server fronts N in-process api.Service
 // workers through router.Pool: every request routes by its canonical
@@ -23,37 +16,40 @@
 // parallelism. -workers 1 (the default) serves a single service with
 // no router in the path.
 //
-// The streaming variant answers with application/x-ndjson: one meta
-// frame, a window frame per sealed aggregation window the moment the
-// engine finalizes it (flushed immediately, so the first window
-// arrives long before the run completes), then a summary frame —
-// api.StreamFrame per line, decodable with api.FrameDecoder. It
-// requires a positive window and bypasses the result cache entirely.
+// With -proxy the server computes nothing itself: it fronts N other
+// twserve *processes* through cluster.Cluster, routing by the same
+// consistent spec-hash ring — so respelled specs and
+// Generate↔Analyze pairs keep hitting the same backend's warm cache,
+// bit-identical to a single process. Proxy mode additionally mounts
+// the live membership routes (GET /v1/cluster, POST
+// /v1/cluster/{add,remove}) for growing and shrinking the backend
+// ring under load with connection draining, and its GET /v1/stats
+// aggregates every backend's worker × stripe counters plus cluster
+// totals. A proxy whose every backend has been removed answers 503
+// until one is added back.
 //
-// Cancellation is end to end: a client hanging up cancels the
-// request context, which aborts the sharded generation workers
-// mid-run; nothing partial is cached — on the streaming route a
-// hangup after window k simply ends the stream there. Batch
-// responses carry an X-Cache header ("hit" or "miss") so load tests
-// can see the classroom hot path working.
+// See the internal/serve package documentation for the route table
+// and the streaming/cancellation semantics (they are identical in
+// all three modes — a client hanging up mid-stream cancels the run
+// end to end, through the proxy hop if there is one).
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/router"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -61,17 +57,30 @@ func main() {
 	cacheCap := flag.Int("cache", api.DefaultCacheCapacity, "result cache capacity per worker (0 disables)")
 	workers := flag.Int("workers", 1, "service workers behind the spec-hash router")
 	genWorkers := flag.Int("genworkers", 0, "default generation workers per request (0 = all CPUs)")
+	proxy := flag.String("proxy", "", "comma-separated backend base URLs; serve as a cluster reverse proxy instead of computing locally")
 	flag.Parse()
 
-	svc := newCore(*workers, api.WithCacheCapacity(*cacheCap), api.WithDefaultWorkers(*genWorkers))
-	srv := newServer(*addr, newMux(svc))
+	var handler http.Handler
+	var mode string
+	if *proxy != "" {
+		cl, err := cluster.New(splitBackends(*proxy))
+		if err != nil {
+			log.Fatalf("twserve: %v", err)
+		}
+		handler = serve.NewProxyMux(cl, cl)
+		mode = "proxy → " + strings.Join(cl.Backends(), ", ")
+	} else {
+		handler = newMux(newCore(*workers, api.WithCacheCapacity(*cacheCap), api.WithDefaultWorkers(*genWorkers)))
+		mode = "workers " + strconv.Itoa(*workers)
+	}
+	srv := newServer(*addr, handler)
 
 	// Serve until interrupted, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("twserve: listening on %s (api %s, workers %d, cache %d)", *addr, api.Version, *workers, *cacheCap)
+	log.Printf("twserve: listening on %s (api %s, %s, cache %d)", *addr, api.Version, mode, *cacheCap)
 	select {
 	case err := <-errc:
 		log.Fatalf("twserve: %v", err)
@@ -84,31 +93,22 @@ func main() {
 	}
 }
 
-// maxBodyBytes bounds request bodies; an analyze matrix at the
-// paper's sizes is a few KB, so 8 MiB leaves room for large posted
-// matrices without inviting abuse.
-const maxBodyBytes = 8 << 20
-
-// newServer builds the hardened http.Server. Split from main so the
-// test suite can assert the timeout posture.
-func newServer(addr string, h http.Handler) *http.Server {
-	return &http.Server{
-		Addr:    addr,
-		Handler: h,
-		// A client trickling its headers or body must not pin a
-		// connection forever; idle keep-alives recycle after two
-		// minutes. ReadTimeout comfortably covers an 8 MiB body on a
-		// slow classroom link.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       120 * time.Second,
-		// WriteTimeout is deliberately absent: it clocks from the end
-		// of the request headers, and the streaming route legitimately
-		// writes frames for as long as a big run takes — a fixed write
-		// deadline would sever healthy long streams. Slow or hung
-		// batch readers are bounded by the request context instead
-		// (client hangup cancels end to end).
+// splitBackends parses the -proxy flag's comma-separated URL list.
+func splitBackends(s string) []string {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
 	}
+	return out
+}
+
+// newServer builds the hardened http.Server (see serve.NewServer for
+// the timeout posture). Kept as a local name so the test suite can
+// assert it.
+func newServer(addr string, h http.Handler) *http.Server {
+	return serve.NewServer(addr, h)
 }
 
 // newCore builds the service core the mux serves: a bare service for
@@ -121,192 +121,9 @@ func newCore(workers int, opts ...api.Option) api.Core {
 	return router.NewPool(workers, opts...)
 }
 
-// newMux builds the route table over a service core — a single
-// *api.Service or a *router.Pool fleet; every handler is written
-// against the api.Core surface. Split from main so the test suite can
-// drive the full HTTP surface through httptest.
+// newMux builds the route table over a service core — see
+// internal/serve for the handlers. Kept as a local name so the test
+// suite drives the exact handler main wires.
 func newMux(svc api.Core) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			httpError(w, http.StatusNotFound, fmt.Errorf("no such route %s (api version %s)", r.URL.Path, api.Version))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{
-			"service": "twserve",
-			"version": api.Version,
-			"routes":  "GET /v1/catalog · POST /v1/generate · POST /v1/generate/stream · POST /v1/analyze · POST /v1/module · GET /v1/sessions · GET /v1/cache · GET /v1/stats",
-		})
-	})
-	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Catalog(r.Context()))
-	})
-	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
-		var req api.GenerateRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		res, err := svc.Generate(r.Context(), req)
-		if err != nil {
-			serviceError(w, r, err)
-			return
-		}
-		w.Header().Set("X-Cache", cacheHeader(res.CacheHit))
-		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("POST /v1/generate/stream", func(w http.ResponseWriter, r *http.Request) {
-		var req api.GenerateRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		flusher, _ := w.(http.Flusher)
-		wroteAny := false
-		err := svc.GenerateStream(r.Context(), req, func(f api.StreamFrame) error {
-			if !wroteAny {
-				// Headers commit on the first frame, after validation has
-				// already passed inside GenerateStream.
-				w.Header().Set("Content-Type", "application/x-ndjson")
-				w.WriteHeader(http.StatusOK)
-				wroteAny = true
-			}
-			if err := api.EncodeFrame(w, f); err != nil {
-				return err
-			}
-			if flusher != nil {
-				// Flush per frame: the whole point of the route is that a
-				// window leaves the process the moment it seals, not when
-				// the response buffer happens to fill.
-				flusher.Flush()
-			}
-			return nil
-		})
-		if err == nil {
-			return
-		}
-		if !wroteAny {
-			// Nothing committed yet: answer like the batch route (400 for
-			// invalid requests, and so on).
-			serviceError(w, r, err)
-			return
-		}
-		// Mid-stream failure: the status line is gone, so the error
-		// travels in-band as a final frame. A hung-up client won't see
-		// it, which is fine — it ended the stream on purpose.
-		if encErr := api.EncodeFrame(w, api.StreamFrame{Type: api.FrameError, Error: err.Error()}); encErr == nil && flusher != nil {
-			flusher.Flush()
-		}
-	})
-	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
-		var req api.AnalyzeRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		res, err := svc.Analyze(r.Context(), req)
-		if err != nil {
-			serviceError(w, r, err)
-			return
-		}
-		w.Header().Set("X-Cache", cacheHeader(res.CacheHit))
-		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("POST /v1/module", func(w http.ResponseWriter, r *http.Request) {
-		var req api.ModuleRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		m, err := svc.Module(r.Context(), req)
-		if err != nil {
-			serviceError(w, r, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, m)
-	})
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Sessions())
-	})
-	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.CacheStats())
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	return mux
-}
-
-func cacheHeader(hit bool) string {
-	if hit {
-		return "hit"
-	}
-	return "miss"
-}
-
-// readJSON decodes a bounded request body, answering 413 when the
-// body busts the size cap and 400 on garbage. It reports whether
-// the handler should proceed.
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
-			return false
-		}
-		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
-		return false
-	}
-	if len(body) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("empty request body; send a JSON request object"))
-		return false
-	}
-	if err := json.Unmarshal(body, v); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return false
-	}
-	return true
-}
-
-// serviceError maps façade errors onto status codes: invalid
-// requests are the caller's fault (400), a cancelled request context
-// means the client hung up (499, best-effort — the connection is
-// usually gone), everything else is a 500.
-func serviceError(w http.ResponseWriter, r *http.Request, err error) {
-	switch {
-	case errors.Is(err, api.ErrInvalidRequest):
-		httpError(w, http.StatusBadRequest, err)
-	case errors.Is(err, api.ErrSessionCancelled):
-		// The run was killed server-side (CancelSession) while this
-		// client was still connected.
-		httpError(w, http.StatusConflict, err)
-	case errors.Is(err, context.Canceled), errors.Is(r.Context().Err(), context.Canceled):
-		// 499 is nginx's "client closed request"; there is no
-		// standard constant.
-		httpError(w, 499, err)
-	case errors.Is(err, context.DeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, err)
-	default:
-		httpError(w, http.StatusInternalServerError, err)
-	}
-}
-
-// errorBody is the uniform error envelope.
-type errorBody struct {
-	Error   string `json:"error"`
-	Version string `json:"version"`
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error(), Version: api.Version})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	// api.WriteJSON encodes through a pooled buffer and reaches the
-	// socket in one Write — a large generate result no longer
-	// allocates a fresh multi-megabyte encode buffer per response.
-	if err := api.WriteJSON(w, v); err != nil {
-		// Headers are gone; nothing to do but log.
-		log.Printf("twserve: encode response: %v", err)
-	}
+	return serve.NewMux(svc)
 }

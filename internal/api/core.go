@@ -35,14 +35,46 @@ type WorkerStats struct {
 	Cache    CacheStats        `json:"cache"`
 	Sessions int               `json:"sessions"`
 	Arena    netsim.ArenaStats `json:"arena"`
+	// Backend names the twserve process the worker lives in when the
+	// report was aggregated by a cluster proxy; empty in-process.
+	Backend string `json:"backend,omitempty"`
+}
+
+// BackendStats is one backend process's summary inside a cluster
+// proxy's StatsReport: its base URL, how many in-process workers it
+// fronts, its fleet-aggregate cache counters, and its in-flight
+// session count. A backend that failed its stats probe reports the
+// error instead (its counters zero) — the cluster report stays
+// servable when one member is down.
+type BackendStats struct {
+	Backend  string     `json:"backend"`
+	Workers  int        `json:"workers"`
+	Cache    CacheStats `json:"cache"`
+	Sessions int        `json:"sessions"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// ClusterStats is the proxy-mode extension of a StatsReport: the
+// per-backend summaries plus cluster totals, so one scrape of the
+// proxy's /v1/stats sees the whole topology instead of only the
+// proxy's own (stateless) process.
+type ClusterStats struct {
+	Backends []BackendStats `json:"backends"`
+	// Totals sums every live backend's cache counters; Sessions sums
+	// their in-flight counts.
+	Totals   CacheStats `json:"totals"`
+	Sessions int        `json:"sessions"`
 }
 
 // StatsReport is the /v1/stats payload: per-worker, per-shard
 // observability for a served deployment. A single service reports
-// one worker; a router pool reports one entry per worker.
+// one worker; a router pool reports one entry per worker; a cluster
+// proxy reports every backend's workers (renumbered fleet-wide,
+// each tagged with its backend URL) plus the Cluster rollup.
 type StatsReport struct {
 	Version string        `json:"version"`
 	Workers []WorkerStats `json:"workers"`
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Stats reports this service as a one-worker fleet.

@@ -22,6 +22,11 @@ type SessionInfo struct {
 	Kind    string    `json:"kind"`
 	Key     string    `json:"key"`
 	Started time.Time `json:"started"`
+	// Backend names the backend process holding the session when the
+	// list was merged by a cluster proxy. Session IDs are only unique
+	// within one process, so the pair (Backend, ID) is the cluster-wide
+	// identity. Empty for in-process sessions.
+	Backend string `json:"backend,omitempty"`
 }
 
 // session pairs the public info with the cancel handle

@@ -1,0 +1,89 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// TestProxyStreamHangupCancelsBackendRun is the hangup-regression
+// satellite: a client that disconnects mid-stream THROUGH THE PROXY
+// must cancel the run on the backend — the proxy's emit fails, the
+// RemoteWorker cancels its upstream request, and the backend's
+// request context kills the engine. The regression this pins: a
+// proxy that keeps draining the backend stream into a dead client
+// leaks a goroutine and a core's worth of work per hangup.
+func TestProxyStreamHangupCancelsBackendRun(t *testing.T) {
+	svc, backend := newBackend(t)
+	cl, err := cluster.New([]string{backend.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(serve.NewProxyMux(cl, cl))
+	t.Cleanup(proxy.Close)
+
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		// A run long enough to hang up in the middle of: windows seal
+		// every 5 simulated seconds while the engine works through
+		// ~160k events.
+		req := api.GenerateRequest{
+			Spec: "background", Seed: int64(100 + round), Hosts: 200,
+			Duration: 200, Rate: 800, Window: 5, Workers: 1,
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(proxy.URL+"/v1/generate/stream", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		dec := api.NewFrameDecoder(resp.Body)
+		for i := 0; i < 2; i++ { // meta + first window
+			if _, err := dec.Next(); err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+		}
+		resp.Body.Close() // hang up mid-run
+
+		// The backend must notice and drain the session: proxy emit
+		// fails → upstream request cancelled → backend context done.
+		deadline := time.Now().Add(10 * time.Second)
+		for len(svc.Sessions()) != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: backend session still alive %v after client hangup", round, 10*time.Second)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// No goroutine may survive the hangups (allow slack for the
+	// HTTP servers' connection churn).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked across proxy hangups: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

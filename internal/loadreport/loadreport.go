@@ -24,6 +24,22 @@ type ClassStats struct {
 	P90Ms  float64 `json:"p90_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 	MaxMs  float64 `json:"max_ms"`
+	// CacheHits / CacheLookups count the requests that carried an
+	// X-Cache header and how many of those were hits — the
+	// warm-affinity signal a proxy run is judged on (a proxy that
+	// routes a respelled warm spec to the wrong backend shows up here
+	// as a depressed hit rate, even when latency happens to hide it).
+	CacheHits    int `json:"cache_hits,omitempty"`
+	CacheLookups int `json:"cache_lookups,omitempty"`
+}
+
+// HitRate is the class's cache-hit fraction (0 when the class's
+// requests carried no cache marker).
+func (c ClassStats) HitRate() float64 {
+	if c.CacheLookups == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(c.CacheLookups)
 }
 
 // Summary is one complete load run: the configuration that produced
@@ -79,11 +95,16 @@ type Collector struct {
 	mu      sync.Mutex
 	samples map[string][]float64 // class → latencies, ms
 	errors  map[string]int
+	hits    map[string]int
+	lookups map[string]int
 }
 
 // NewCollector builds an empty collector.
 func NewCollector() *Collector {
-	return &Collector{samples: map[string][]float64{}, errors: map[string]int{}}
+	return &Collector{
+		samples: map[string][]float64{}, errors: map[string]int{},
+		hits: map[string]int{}, lookups: map[string]int{},
+	}
 }
 
 // Record adds one request outcome. Failed requests count toward the
@@ -98,6 +119,19 @@ func (c *Collector) Record(class string, latency time.Duration, err error) {
 		return
 	}
 	c.samples[class] = append(c.samples[class], float64(latency)/float64(time.Millisecond))
+}
+
+// RecordCache tallies one successful request's X-Cache outcome for
+// its class. Call it only for requests that actually carried the
+// header (batch generate/analyze responses); streams and modules
+// have no cache marker and stay out of the denominator.
+func (c *Collector) RecordCache(class string, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups[class]++
+	if hit {
+		c.hits[class]++
+	}
 }
 
 // Summarize freezes the collected samples into a Summary for a run
@@ -121,7 +155,10 @@ func (c *Collector) Summarize(elapsed time.Duration) Summary {
 	for _, class := range classes {
 		lat := append([]float64(nil), c.samples[class]...)
 		sort.Float64s(lat)
-		st := ClassStats{Class: class, Count: len(lat) + c.errors[class], Errors: c.errors[class]}
+		st := ClassStats{
+			Class: class, Count: len(lat) + c.errors[class], Errors: c.errors[class],
+			CacheHits: c.hits[class], CacheLookups: c.lookups[class],
+		}
 		if len(lat) > 0 {
 			sum := 0.0
 			for _, v := range lat {
@@ -147,11 +184,15 @@ func (c *Collector) Summarize(elapsed time.Duration) Summary {
 func (s Summary) String() string {
 	out := fmt.Sprintf("%d requests in %.1fs (%.1f req/s, %d errors, %d workers, concurrency %d)\n",
 		s.Requests, s.DurationSec, s.Throughput, s.Errors, s.Workers, s.Concurrency)
-	out += fmt.Sprintf("%-10s %8s %6s %10s %10s %10s %10s %10s\n",
-		"class", "count", "errs", "mean", "p50", "p90", "p99", "max")
+	out += fmt.Sprintf("%-10s %8s %6s %10s %10s %10s %10s %10s %6s\n",
+		"class", "count", "errs", "mean", "p50", "p90", "p99", "max", "hit%")
 	for _, c := range s.Classes {
-		out += fmt.Sprintf("%-10s %8d %6d %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms\n",
-			c.Class, c.Count, c.Errors, c.MeanMs, c.P50Ms, c.P90Ms, c.P99Ms, c.MaxMs)
+		hit := "-"
+		if c.CacheLookups > 0 {
+			hit = fmt.Sprintf("%.0f%%", 100*c.HitRate())
+		}
+		out += fmt.Sprintf("%-10s %8d %6d %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms %6s\n",
+			c.Class, c.Count, c.Errors, c.MeanMs, c.P50Ms, c.P90Ms, c.P99Ms, c.MaxMs, hit)
 	}
 	return out
 }

@@ -44,8 +44,18 @@ func NewPool(n int, opts ...api.Option) *Pool {
 func (p *Pool) Size() int { return len(p.workers) }
 
 // Worker returns the worker that owns key — exported for tests and
-// for front-ends that want to inspect routing.
-func (p *Pool) Worker(key string) *api.Service { return p.workers[p.ring.Pick(key)] }
+// for front-ends that want to inspect routing. A pool ring is never
+// empty (NewPool clamps to at least one worker and pools have no
+// removal path — pinned by TestPoolNeverBuildsAnEmptyRing), so an
+// ErrEmptyRing here is an unreachable invariant violation, not a
+// servable condition.
+func (p *Pool) Worker(key string) *api.Service {
+	w, err := p.ring.Pick(key)
+	if err != nil {
+		panic("router: pool ring unexpectedly empty: " + err.Error())
+	}
+	return p.workers[w]
+}
 
 // Generate routes the request to its spec's worker.
 func (p *Pool) Generate(ctx context.Context, req api.GenerateRequest) (*api.GenerateResult, error) {

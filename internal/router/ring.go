@@ -11,11 +11,20 @@
 package router
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/api"
 )
+
+// ErrEmptyRing reports a Pick against a ring with no live workers —
+// a fleet of zero cannot own any key. In-process pools never build
+// one (NewPool clamps to at least one worker and has no removal
+// path), but a cluster proxy whose every backend has been removed
+// legitimately reaches this state; front-ends surface it as HTTP 503
+// rather than panicking the process.
+var ErrEmptyRing = errors.New("router: empty ring: no live workers")
 
 // DefaultReplicas is the virtual-node count per worker. More vnodes
 // smooth the keyspace split (the expected per-worker load imbalance
@@ -106,16 +115,17 @@ func (r *Ring) Size() int { return len(r.workers) }
 
 // Pick returns the worker owning key: the first virtual node at or
 // clockwise after the key's hash. A single-worker ring always
-// returns that worker; Pick panics on an empty ring (a fleet of zero
-// workers cannot serve anything, and the Pool never builds one).
-func (r *Ring) Pick(key string) int {
+// returns that worker. An empty ring — zero workers, or every worker
+// removed — returns ErrEmptyRing instead of panicking, so a proxy
+// drained of backends degrades to 503s rather than crashing.
+func (r *Ring) Pick(key string) (int, error) {
 	if len(r.points) == 0 {
-		panic("router: Pick on an empty ring")
+		return 0, ErrEmptyRing
 	}
 	h := api.KeyHash(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap past the highest vnode
 	}
-	return r.points[i].worker
+	return r.points[i].worker, nil
 }

@@ -1,9 +1,63 @@
 package router
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 )
+
+// mustPick resolves a key on a ring the test knows is non-empty.
+func mustPick(t *testing.T, r *Ring, key string) int {
+	t.Helper()
+	w, err := r.Pick(key)
+	if err != nil {
+		t.Fatalf("Pick(%q): %v", key, err)
+	}
+	return w
+}
+
+// TestRingEmptyPickErrors: a zero-worker ring and a fully-removed
+// ring both answer Pick with ErrEmptyRing — never a panic or an
+// index-out-of-range — so a proxy drained of backends can turn the
+// condition into a 503.
+func TestRingEmptyPickErrors(t *testing.T) {
+	empty := NewRing(0)
+	if _, err := empty.Pick("any-key"); !errors.Is(err, ErrEmptyRing) {
+		t.Fatalf("Pick on zero-worker ring: err = %v, want ErrEmptyRing", err)
+	}
+
+	drained := NewRing(3)
+	for w := 0; w < 3; w++ {
+		drained.Remove(w)
+	}
+	if drained.Size() != 0 {
+		t.Fatalf("size after removing every worker = %d", drained.Size())
+	}
+	if _, err := drained.Pick("any-key"); !errors.Is(err, ErrEmptyRing) {
+		t.Fatalf("Pick on fully-removed ring: err = %v, want ErrEmptyRing", err)
+	}
+
+	// Recovery: adding a worker back makes the ring servable again.
+	drained.Add(1)
+	if w := mustPick(t, drained, "any-key"); w != 1 {
+		t.Fatalf("recovered ring picked worker %d, want 1", w)
+	}
+}
+
+// TestPoolNeverBuildsAnEmptyRing pins the invariant Pool.Worker
+// relies on: every NewPool size, including nonsense sizes, yields at
+// least one worker, so in-process pools can never see ErrEmptyRing.
+func TestPoolNeverBuildsAnEmptyRing(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 4} {
+		p := NewPool(n)
+		if p.Size() < 1 {
+			t.Fatalf("NewPool(%d) built %d workers", n, p.Size())
+		}
+		if w := p.Worker("some-key"); w == nil {
+			t.Fatalf("NewPool(%d).Worker returned nil", n)
+		}
+	}
+}
 
 // testKeys builds K canonical-shaped keys like the ones the service
 // actually routes.
@@ -24,11 +78,11 @@ func TestRingPickDeterministic(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 8} {
 		a, b := NewRing(n), NewRing(n)
 		for _, key := range testKeys(500) {
-			w := a.Pick(key)
+			w := mustPick(t, a, key)
 			if w < 0 || w >= n {
 				t.Fatalf("n=%d: Pick(%q) = %d, out of range", n, key, w)
 			}
-			if a.Pick(key) != w || b.Pick(key) != w {
+			if mustPick(t, a, key) != w || mustPick(t, b, key) != w {
 				t.Fatalf("n=%d: Pick(%q) unstable across picks or ring builds", n, key)
 			}
 		}
@@ -40,7 +94,7 @@ func TestRingPickDeterministic(t *testing.T) {
 func TestRingSingleWorkerOwnsEverything(t *testing.T) {
 	r := NewRing(1)
 	for _, key := range testKeys(100) {
-		if w := r.Pick(key); w != 0 {
+		if w := mustPick(t, r, key); w != 0 {
 			t.Fatalf("1-worker ring sent %q to worker %d", key, w)
 		}
 	}
@@ -55,7 +109,7 @@ func TestRingDistribution(t *testing.T) {
 		r := NewRing(n)
 		counts := make([]int, n)
 		for _, key := range testKeys(K) {
-			counts[r.Pick(key)]++
+			counts[mustPick(t, r, key)]++
 		}
 		fair := K / n
 		for w, c := range counts {
@@ -81,13 +135,13 @@ func TestRingBoundedMovementOnGrow(t *testing.T) {
 		before := NewRing(n)
 		owners := make([]int, K)
 		for i, key := range keys {
-			owners[i] = before.Pick(key)
+			owners[i] = mustPick(t, before, key)
 		}
 		after := NewRing(n)
 		after.Add(n) // grow to n+1
 		moved := 0
 		for i, key := range keys {
-			w := after.Pick(key)
+			w := mustPick(t, after, key)
 			if w != owners[i] {
 				moved++
 				if w != n {
@@ -115,14 +169,14 @@ func TestRingRemoveRestoresAssignments(t *testing.T) {
 	r := NewRing(4)
 	owners := make([]int, K)
 	for i, key := range keys {
-		owners[i] = r.Pick(key)
+		owners[i] = mustPick(t, r, key)
 	}
 	r.Remove(2)
 	if r.Size() != 3 {
 		t.Fatalf("size after remove = %d", r.Size())
 	}
 	for i, key := range keys {
-		w := r.Pick(key)
+		w := mustPick(t, r, key)
 		if owners[i] != 2 && w != owners[i] {
 			t.Fatalf("key %q owned by %d moved to %d when worker 2 left", key, owners[i], w)
 		}
@@ -132,7 +186,7 @@ func TestRingRemoveRestoresAssignments(t *testing.T) {
 	}
 	r.Add(2)
 	for i, key := range keys {
-		if w := r.Pick(key); w != owners[i] {
+		if w := mustPick(t, r, key); w != owners[i] {
 			t.Fatalf("key %q owner %d not restored after re-add (got %d)", key, owners[i], w)
 		}
 	}
