@@ -17,6 +17,15 @@
 //	module   10%  figure-pattern module renders
 //	stream    5%  streaming generates, every NDJSON frame read
 //
+// With -players N > 0 a sixth class joins the mix: 25% of requests
+// become player flows (enroll → start attempt → submit → read
+// progress) spread over N synthetic accounts load-p0 … load-p{N-1},
+// with the remaining 75% split by the ratios above. A 429 from the
+// server's per-player rate limiter is tallied separately (the
+// rate_limited column), not as an error — the smoke harness asserts
+// the limiter fires under aggressive -player-rps without failing the
+// run.
+//
 // Each request class is reported separately (see
 // internal/loadreport), so warm-vs-cold p50 is directly visible; the
 // harness's benchguard -load mode asserts the invariants that hold on
@@ -30,6 +39,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +53,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/loadreport"
+	"repro/internal/player"
 )
 
 func main() {
@@ -50,6 +61,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
 	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
 	seed := flag.Int64("seed", 1, "workload shuffle seed")
+	players := flag.Int("players", 0, "synthetic player accounts to drive (0 disables the player class)")
 	jsonOut := flag.String("json", "", "write the summary as JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
@@ -58,6 +70,7 @@ func main() {
 		duration:    *duration,
 		concurrency: *concurrency,
 		seed:        *seed,
+		players:     *players,
 	})
 	if err != nil {
 		log.Fatalf("twload: %v", err)
@@ -85,6 +98,7 @@ type config struct {
 	duration    time.Duration
 	concurrency int
 	seed        int64
+	players     int
 }
 
 // Class mix in cumulative percent: rng.Intn(100) < boundary picks the
@@ -96,6 +110,10 @@ const (
 	pctComposed = 85 // +15
 	pctModule   = 95 // +10
 	// remainder: stream (5)
+
+	// pctPlayer is the player-flow share when -players is on; the
+	// classes above keep their relative ratios inside the remainder.
+	pctPlayer = 25
 )
 
 // loadShape is the parameter block every generate-class request
@@ -162,13 +180,19 @@ func run(ctx context.Context, cfg config) (loadreport.Summary, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(g)))
 			for time.Now().Before(deadline) {
-				class, call := pick(rng, &coldSeq)
+				class, call := pick(rng, &coldSeq, cfg.players)
 				t0 := time.Now()
 				cache, err := call(runCtx, client, cfg.addr)
 				if runCtx.Err() != nil && err != nil {
 					// The deadline tripped mid-request; an aborted tail
 					// request is not a server error.
 					break
+				}
+				if errors.Is(err, errRateLimited) {
+					// A 429 is the limiter doing its job: tally it,
+					// keep the round trip as a latency sample.
+					collector.RecordRateLimited(class)
+					err = nil
 				}
 				collector.Record(class, time.Since(t0), err)
 				if err == nil && cache != "" {
@@ -187,7 +211,10 @@ func run(ctx context.Context, cfg config) (loadreport.Summary, error) {
 }
 
 // pick selects a request class and returns its caller.
-func pick(rng *rand.Rand, coldSeq *atomic.Int64) (string, callFunc) {
+func pick(rng *rand.Rand, coldSeq *atomic.Int64, players int) (string, callFunc) {
+	if players > 0 && rng.Intn(100) < pctPlayer {
+		return "player", playerCall(fmt.Sprintf("load-p%d", rng.Intn(players)))
+	}
 	switch n := rng.Intn(100); {
 	case n < pctWarm:
 		req := warmSet[rng.Intn(len(warmSet))]
@@ -280,6 +307,83 @@ func moduleCall(pattern string) callFunc {
 		}
 		if resp.StatusCode != http.StatusOK {
 			return "", fmt.Errorf("module %s: status %d", pattern, resp.StatusCode)
+		}
+		return "", nil
+	}
+}
+
+// errRateLimited marks a flow the server cut short with a 429 — the
+// run loop tallies it per class instead of counting an error.
+var errRateLimited = errors.New("rate limited")
+
+// playerPattern is the module every player flow quizzes on: a
+// figure-catalog pattern render, so the flow never pays a scenario
+// generation and its latency measures the player layer itself.
+const playerPattern = "fig9c-ddos-attack"
+
+// playerStep consumes one response of the player flow: 200 decodes
+// into out (when non-nil), 429 reports errRateLimited, statuses in
+// tolerate pass silently, anything else is an error.
+func playerStep(resp *http.Response, err error, out any, tolerate ...int) error {
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return errRateLimited
+	case resp.StatusCode == http.StatusOK:
+		if out != nil {
+			return json.Unmarshal(body, out)
+		}
+		return nil
+	}
+	for _, s := range tolerate {
+		if resp.StatusCode == s {
+			return nil
+		}
+	}
+	return fmt.Errorf("player flow: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// playerCall runs one player's full flow — enroll, start an attempt,
+// submit an answer, read progress — as a single latency sample. A 429
+// at any step ends the flow as rate-limited (the later steps would
+// only re-trip the same player's bucket).
+func playerCall(id string) callFunc {
+	return func(ctx context.Context, client *http.Client, addr string) (string, error) {
+		// Enroll; 409 means an earlier iteration already did.
+		resp, err := postJSON(ctx, client, addr+"/v1/player",
+			api.PlayerCreateRequest{ID: id, Name: "load " + id})
+		if err := playerStep(resp, err, nil, http.StatusConflict); err != nil {
+			return "", err
+		}
+
+		var att api.AttemptResult
+		resp, err = postJSON(ctx, client, addr+"/v1/player/"+id+"/attempt",
+			api.AttemptStartRequest{ModuleRef: player.ModuleRef{Pattern: playerPattern}})
+		if err := playerStep(resp, err, &att); err != nil {
+			return "", err
+		}
+
+		resp, err = postJSON(ctx, client,
+			fmt.Sprintf("%s/v1/player/%s/attempt/%d", addr, id, att.Attempt.Attempt),
+			api.AttemptSubmitRequest{Answer: 0})
+		if err := playerStep(resp, err, nil); err != nil {
+			return "", err
+		}
+
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/player/"+id+"/progress", nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err = client.Do(req)
+		if err := playerStep(resp, err, nil); err != nil {
+			return "", err
 		}
 		return "", nil
 	}

@@ -37,6 +37,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -48,6 +49,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/cluster"
+	"repro/internal/player"
 	"repro/internal/router"
 	"repro/internal/serve"
 )
@@ -58,11 +60,18 @@ func main() {
 	workers := flag.Int("workers", 1, "service workers behind the spec-hash router")
 	genWorkers := flag.Int("genworkers", 0, "default generation workers per request (0 = all CPUs)")
 	proxy := flag.String("proxy", "", "comma-separated backend base URLs; serve as a cluster reverse proxy instead of computing locally")
+	store := flag.String("store", "mem", "player store backend: mem (in-memory) or dir (file-backed)")
+	storeDir := flag.String("store-dir", "players", "player store directory (with -store dir)")
+	playerRPS := flag.Float64("player-rps", 0, "per-player request rate limit (0 disables)")
+	playerBurst := flag.Float64("player-burst", 10, "per-player rate limit burst (with -player-rps)")
 	flag.Parse()
 
 	var handler http.Handler
 	var mode string
 	if *proxy != "" {
+		// Proxy mode computes nothing locally — player state lives on
+		// the backends, partitioned by the same ring as everything
+		// else, so the store flags are intentionally unused here.
 		cl, err := cluster.New(splitBackends(*proxy))
 		if err != nil {
 			log.Fatalf("twserve: %v", err)
@@ -70,8 +79,15 @@ func main() {
 		handler = serve.NewProxyMux(cl, cl)
 		mode = "proxy → " + strings.Join(cl.Backends(), ", ")
 	} else {
-		handler = newMux(newCore(*workers, api.WithCacheCapacity(*cacheCap), api.WithDefaultWorkers(*genWorkers)))
-		mode = "workers " + strconv.Itoa(*workers)
+		players, err := newPlayerEngine(*store, *storeDir, *playerRPS, *playerBurst)
+		if err != nil {
+			log.Fatalf("twserve: %v", err)
+		}
+		handler = newMux(newCore(*workers,
+			api.WithCacheCapacity(*cacheCap),
+			api.WithDefaultWorkers(*genWorkers),
+			api.WithPlayers(players)))
+		mode = "workers " + strconv.Itoa(*workers) + ", store " + *store
 	}
 	srv := newServer(*addr, handler)
 
@@ -109,6 +125,29 @@ func splitBackends(s string) []string {
 // assert it.
 func newServer(addr string, h http.Handler) *http.Server {
 	return serve.NewServer(addr, h)
+}
+
+// newPlayerEngine builds the shared player engine from the store and
+// rate-limit flags: one engine per process, handed to every worker
+// (the pool's in-process workers must see one store and one attempt
+// registry — player state is mutable per-user data, not cacheable
+// compute).
+func newPlayerEngine(store, dir string, rps, burst float64) (*player.Engine, error) {
+	var backing player.Store
+	switch store {
+	case "mem":
+		backing = player.NewMemStore()
+	case "dir":
+		ds, err := player.NewDirStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		backing = ds
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want mem or dir)", store)
+	}
+	return player.NewEngine(backing,
+		player.WithLimiter(player.NewLimiter(rps, burst, player.DefaultMaxBuckets))), nil
 }
 
 // newCore builds the service core the mux serves: a bare service for

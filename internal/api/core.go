@@ -19,6 +19,12 @@ type Core interface {
 	Module(ctx context.Context, req ModuleRequest) (*core.Module, error)
 	Campaign(ctx context.Context, req CampaignRequest) (*bridge.Campaign, error)
 	Catalog(ctx context.Context) *CatalogResult
+	PlayerCreate(ctx context.Context, req PlayerCreateRequest) (*PlayerResult, error)
+	PlayerGet(ctx context.Context, req PlayerGetRequest) (*PlayerResult, error)
+	PlayerAttemptStart(ctx context.Context, req AttemptStartRequest) (*AttemptResult, error)
+	PlayerAttemptSubmit(ctx context.Context, req AttemptSubmitRequest) (*SubmitResult, error)
+	PlayerProgress(ctx context.Context, req ProgressRequest) (*ProgressResult, error)
+	PlayerMastery(ctx context.Context) (*MasteryResult, error)
 	Sessions() []SessionInfo
 	CancelSession(id int64) bool
 	CacheStats() CacheStats

@@ -14,6 +14,7 @@ import (
 	"repro/internal/modules"
 	"repro/internal/netsim"
 	"repro/internal/patterns"
+	"repro/internal/player"
 )
 
 // DefaultCacheCapacity bounds the result cache when no option
@@ -32,6 +33,10 @@ type Service struct {
 	cache      ResultCache
 	sessions   SessionStore
 	flights    *shardedFlights
+	// players is the account layer (see internal/player): mutable
+	// per-user state served beside — never through — the result
+	// cache.
+	players *player.Engine
 	// arena pools the generation pipeline's builder storage across
 	// requests (nil when pooling is disabled — every netsim arena
 	// entry point treats a nil arena as "allocate fresh", and the two
@@ -87,6 +92,9 @@ func New(opts ...Option) *Service {
 	s.flights = newShardedFlights(s.shards)
 	if !s.noPooling {
 		s.arena = netsim.NewArena()
+	}
+	if s.players == nil {
+		s.players = player.NewEngine(player.NewMemStore())
 	}
 	return s
 }

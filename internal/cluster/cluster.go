@@ -11,6 +11,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/bridge"
 	"repro/internal/core"
+	"repro/internal/player"
 	"repro/internal/router"
 )
 
@@ -269,6 +270,98 @@ func (c *Cluster) Campaign(ctx context.Context, req api.CampaignRequest) (*bridg
 	}
 	defer release()
 	return m.worker.Campaign(ctx, req)
+}
+
+// Player methods route by player identity: unlike the in-process
+// pool (whose workers share one engine), each backend process owns
+// its own player store, so the ring genuinely partitions players
+// across the cluster and per-player rate limits are enforced by the
+// one backend that owns the player.
+
+// PlayerCreate routes by player identity.
+func (c *Cluster) PlayerCreate(ctx context.Context, req api.PlayerCreateRequest) (*api.PlayerResult, error) {
+	m, release, err := c.pick(req.RouteKey())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return m.worker.PlayerCreate(ctx, req)
+}
+
+// PlayerGet routes by player identity.
+func (c *Cluster) PlayerGet(ctx context.Context, req api.PlayerGetRequest) (*api.PlayerResult, error) {
+	m, release, err := c.pick(req.RouteKey())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return m.worker.PlayerGet(ctx, req)
+}
+
+// PlayerAttemptStart routes by player identity.
+func (c *Cluster) PlayerAttemptStart(ctx context.Context, req api.AttemptStartRequest) (*api.AttemptResult, error) {
+	m, release, err := c.pick(req.RouteKey())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return m.worker.PlayerAttemptStart(ctx, req)
+}
+
+// PlayerAttemptSubmit routes by player identity.
+func (c *Cluster) PlayerAttemptSubmit(ctx context.Context, req api.AttemptSubmitRequest) (*api.SubmitResult, error) {
+	m, release, err := c.pick(req.RouteKey())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return m.worker.PlayerAttemptSubmit(ctx, req)
+}
+
+// PlayerProgress routes by player identity.
+func (c *Cluster) PlayerProgress(ctx context.Context, req api.ProgressRequest) (*api.ProgressResult, error) {
+	m, release, err := c.pick(req.RouteKey())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return m.worker.PlayerProgress(ctx, req)
+}
+
+// PlayerMastery fans out: each backend owns a disjoint slice of the
+// player population, so the cohort view is the merge of every
+// backend's local statistics. Backends are probed concurrently; a
+// failed probe fails the whole read (a partial cohort would silently
+// misreport difficulty).
+func (c *Cluster) PlayerMastery(ctx context.Context) (*api.MasteryResult, error) {
+	members := c.snapshot()
+	if len(members) == 0 {
+		return nil, ErrNoBackends
+	}
+	parts := make([][]player.MasteryItem, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		m.wg.Add(1)
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			defer m.wg.Done()
+			res, err := m.worker.PlayerMastery(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: mastery probe of %s: %w", m.url, err)
+				return
+			}
+			parts[i] = res.Items
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &api.MasteryResult{Version: api.Version, Items: api.MergeMastery(parts...)}, nil
 }
 
 // Catalog is identical on every backend; the first live one answers.

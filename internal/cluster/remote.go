@@ -28,6 +28,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/bridge"
 	"repro/internal/core"
+	"repro/internal/player"
 )
 
 // Defaults for the per-backend HTTP posture. The inflight cap bounds
@@ -174,18 +175,37 @@ func (w *RemoteWorker) acquire(ctx context.Context) (func(), error) {
 // behave exactly as if the failure were local. The backend's message
 // already carries the sentinel's text, so the reconstruction splices
 // rather than double-wrapping.
-func remoteError(status int, msg string) error {
+func remoteError(status int, msg string, retryAfterMS int64) error {
 	resentinel := func(sentinel error) error {
 		if rest, ok := strings.CutPrefix(msg, sentinel.Error()); ok {
 			return fmt.Errorf("%w%s", sentinel, rest)
 		}
 		return fmt.Errorf("%w: %s", sentinel, msg)
 	}
+	// A status can encode more than one sentinel (400 is both the api
+	// and the player invalid-request error; 409 both a cancelled run
+	// and a player-state conflict); the message prefix says which one
+	// the backend actually raised.
+	prefer := func(candidates ...error) error {
+		for _, sentinel := range candidates {
+			if strings.HasPrefix(msg, sentinel.Error()) {
+				return resentinel(sentinel)
+			}
+		}
+		return resentinel(candidates[0])
+	}
 	switch status {
 	case http.StatusBadRequest:
-		return resentinel(api.ErrInvalidRequest)
+		return prefer(api.ErrInvalidRequest, player.ErrInvalid)
+	case http.StatusNotFound:
+		return resentinel(player.ErrNotFound)
 	case http.StatusConflict:
-		return resentinel(api.ErrSessionCancelled)
+		return prefer(api.ErrSessionCancelled, player.ErrConflict)
+	case http.StatusTooManyRequests:
+		// The envelope's retry_after_ms rebuilds the exact
+		// RateLimitError: the proxy's serve layer then re-derives the
+		// same Retry-After header, body, and message the backend sent.
+		return &player.RateLimitError{RetryAfter: time.Duration(retryAfterMS) * time.Millisecond}
 	case http.StatusGatewayTimeout:
 		return fmt.Errorf("%w: %s", context.DeadlineExceeded, msg)
 	case 499:
@@ -199,12 +219,13 @@ func remoteError(status int, msg string) error {
 // response body.
 func decodeError(status int, body []byte) error {
 	var eb struct {
-		Error string `json:"error"`
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
 	}
 	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-		return remoteError(status, eb.Error)
+		return remoteError(status, eb.Error, eb.RetryAfterMS)
 	}
-	return remoteError(status, strings.TrimSpace(string(body)))
+	return remoteError(status, strings.TrimSpace(string(body)), 0)
 }
 
 // retryable reports whether a transport-level failure is worth
@@ -393,6 +414,76 @@ func (w *RemoteWorker) GenerateStream(ctx context.Context, req api.GenerateReque
 			return err
 		}
 	}
+}
+
+// PlayerCreate registers a player on the backend. Mutations never
+// retry: a create that landed but lost its response would turn a
+// retry into a spurious 409.
+func (w *RemoteWorker) PlayerCreate(ctx context.Context, req api.PlayerCreateRequest) (*api.PlayerResult, error) {
+	var res api.PlayerResult
+	if err := w.do(ctx, http.MethodPost, "/v1/player", req, &res, false); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PlayerGet reads a player's account view (idempotent).
+func (w *RemoteWorker) PlayerGet(ctx context.Context, req api.PlayerGetRequest) (*api.PlayerResult, error) {
+	var res api.PlayerResult
+	if err := w.do(ctx, http.MethodGet, "/v1/player/"+url.PathEscape(req.ID), nil, &res, true); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PlayerAttemptStart starts an attempt on the backend. Not retried:
+// each start consumes an attempt ID.
+func (w *RemoteWorker) PlayerAttemptStart(ctx context.Context, req api.AttemptStartRequest) (*api.AttemptResult, error) {
+	var res api.AttemptResult
+	path := "/v1/player/" + url.PathEscape(req.Player) + "/attempt"
+	if err := w.do(ctx, http.MethodPost, path, req, &res, false); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PlayerAttemptSubmit submits an answer on the backend. Not retried:
+// a submit that landed but lost its response would turn a retry into
+// a spurious 409.
+func (w *RemoteWorker) PlayerAttemptSubmit(ctx context.Context, req api.AttemptSubmitRequest) (*api.SubmitResult, error) {
+	var res api.SubmitResult
+	path := fmt.Sprintf("/v1/player/%s/attempt/%d", url.PathEscape(req.Player), req.Attempt)
+	if err := w.do(ctx, http.MethodPost, path, req, &res, false); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PlayerProgress reads (Unit empty) or advances (Unit set) progress
+// on the backend. Advancing is idempotent server-side (re-completing
+// a done unit is a no-op), so both paths may retry.
+func (w *RemoteWorker) PlayerProgress(ctx context.Context, req api.ProgressRequest) (*api.ProgressResult, error) {
+	var res api.ProgressResult
+	path := "/v1/player/" + url.PathEscape(req.Player) + "/progress"
+	if strings.TrimSpace(req.Unit) == "" {
+		if err := w.do(ctx, http.MethodGet, path, nil, &res, true); err != nil {
+			return nil, err
+		}
+		return &res, nil
+	}
+	if err := w.do(ctx, http.MethodPost, path, req, &res, true); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// PlayerMastery reads the backend's cohort statistics (idempotent).
+func (w *RemoteWorker) PlayerMastery(ctx context.Context) (*api.MasteryResult, error) {
+	var res api.MasteryResult
+	if err := w.do(ctx, http.MethodGet, "/v1/player/mastery", nil, &res, true); err != nil {
+		return nil, err
+	}
+	return &res, nil
 }
 
 // Catalog probes the backend's catalog. api.Core's signature has no

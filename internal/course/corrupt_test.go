@@ -1,0 +1,63 @@
+package course
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The dir-backed player store holds course manifests as server-owned
+// state, so a damaged file must surface as ErrCorrupt — never as a
+// zero-value course or a generic decode error.
+func TestParseRejectsCorruptManifests(t *testing.T) {
+	valid := `{"name":"C","units":[{"name":"A","lessons":["l1"]}]}`
+	cases := map[string]string{
+		"garbage":       "not a manifest",
+		"empty":         "",
+		"whitespace":    " \n\t ",
+		"truncated":     valid[:len(valid)/2],
+		"wrong type":    `{"name":"C","units":"none"}`,
+		"unknown field": `{"name":"C","bogus":1,"units":[{"name":"A","lessons":["l1"]}]}`,
+		"double doc":    valid + "\n" + valid,
+		"bare number":   "42 43",
+	}
+	for name, src := range cases {
+		c, err := Parse([]byte(src))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if c != nil {
+			t.Errorf("%s: returned a course alongside the error", name)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+// Semantic failures — readable JSON that is not a usable course —
+// keep their specific diagnoses and do not claim corruption.
+func TestParseSemanticErrorsAreNotCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"no units":       `{"name":"C","units":[]}`,
+		"no name":        `{"units":[{"name":"A","lessons":["l1"]}]}`,
+		"unknown prereq": `{"name":"C","units":[{"name":"A","lessons":["l1"],"requires":["Z"]}]}`,
+		"cycle": `{"name":"C","units":[
+			{"name":"A","lessons":["l1"],"requires":["B"]},
+			{"name":"B","lessons":["l2"],"requires":["A"]}]}`,
+	}
+	for name, src := range cases {
+		_, err := Parse([]byte(src))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: semantic error %v claims corruption", name, err)
+		}
+		if !strings.HasPrefix(err.Error(), "course:") {
+			t.Errorf("%s: error %v lost the package prefix", name, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package course
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -15,6 +16,14 @@ import (
 
 	"repro/internal/core"
 )
+
+// ErrCorrupt marks a course document that cannot be decoded at all —
+// truncated, malformed, or structurally not a manifest. Parse wraps
+// every decode failure with it (semantic validation failures keep
+// their specific errors), so a caller holding manifests as
+// server-owned state (the player layer's dir-backed store) can tell a
+// damaged file from an invalid-but-readable one with errors.Is.
+var ErrCorrupt = errors.New("course: corrupt manifest")
 
 // Unit is one named group of lessons with optional prerequisites.
 type Unit struct {
@@ -42,9 +51,12 @@ type Course struct {
 // Parse decodes a course manifest, tolerating trailing commas and
 // comments like the module format, and validates it.
 func Parse(src []byte) (*Course, error) {
+	if len(strings.TrimSpace(string(src))) == 0 {
+		return nil, fmt.Errorf("%w: empty document", ErrCorrupt)
+	}
 	var c Course
 	if err := core.DecodeLenient(src, &c); err != nil {
-		return nil, fmt.Errorf("course: parse: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,130 @@
+package course
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomCourse builds a valid course of n units with random forward
+// prerequisites: unit i may only require units j < i, so the result
+// is acyclic by construction and always passes Validate.
+func randomCourse(rng *rand.Rand, n int) *Course {
+	c := &Course{Name: "random"}
+	for i := 0; i < n; i++ {
+		u := Unit{Name: fmt.Sprintf("u%d", i), Lessons: []string{"l"}}
+		for j := 0; j < i; j++ {
+			if rng.Intn(3) == 0 {
+				u.Requires = append(u.Requires, fmt.Sprintf("u%d", j))
+			}
+		}
+		c.Units = append(c.Units, u)
+	}
+	return c
+}
+
+// checkInvariants asserts the Complete/Unlocked/Available contract on
+// a progress snapshot: every completed unit's prerequisites are
+// completed, Available is exactly unlocked-and-not-completed in
+// authored order, and Done agrees with the completed set.
+func checkInvariants(t *testing.T, c *Course, p *Progress) {
+	t.Helper()
+	for _, u := range c.Units {
+		if p.Completed(u.Name) {
+			for _, req := range u.Requires {
+				if !p.Completed(req) {
+					t.Fatalf("unit %s completed while prerequisite %s is not", u.Name, req)
+				}
+			}
+			if !p.Unlocked(u.Name) {
+				t.Fatalf("unit %s completed but reports locked", u.Name)
+			}
+		}
+	}
+	var wantAvail []string
+	allDone := true
+	for _, u := range c.Units {
+		if !p.Completed(u.Name) {
+			allDone = false
+			if p.Unlocked(u.Name) {
+				wantAvail = append(wantAvail, u.Name)
+			}
+		}
+	}
+	avail := p.Available()
+	if len(avail) != len(wantAvail) {
+		t.Fatalf("Available() = %d units, want %d", len(avail), len(wantAvail))
+	}
+	for i, u := range avail {
+		if u.Name != wantAvail[i] {
+			t.Fatalf("Available()[%d] = %s, want %s (authored order)", i, u.Name, wantAvail[i])
+		}
+	}
+	if p.Done() != allDone {
+		t.Fatalf("Done() = %v with %d/%d units completed", p.Done(), len(c.Units)-len(wantAvail), len(c.Units))
+	}
+}
+
+// TestProgressInvariantsUnderAnyOrder drives random courses with
+// random completion attempts — legal and illegal alike — and checks
+// after every attempt that the progress invariants hold: Complete
+// succeeds exactly when the unit is known and unlocked, a rejected
+// Complete changes nothing, and hammering random orders always
+// terminates with every unit completed (no course is ever wedged).
+func TestProgressInvariantsUnderAnyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		c := randomCourse(rng, 1+rng.Intn(9))
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: random course invalid: %v", trial, err)
+		}
+		p := NewProgress(c)
+		checkInvariants(t, c, p)
+		for attempts := 0; !p.Done(); attempts++ {
+			if attempts > 10_000 {
+				t.Fatalf("trial %d: progress wedged", trial)
+			}
+			u := c.Units[rng.Intn(len(c.Units))]
+			// Occasionally attack with an unknown unit too.
+			name := u.Name
+			if rng.Intn(10) == 0 {
+				name = "nope"
+			}
+			legal := name != "nope" && p.Unlocked(name)
+			alreadyDone := name != "nope" && p.Completed(name)
+			err := p.Complete(name)
+			switch {
+			case err != nil && legal:
+				t.Fatalf("trial %d: Complete(%s) rejected while unlocked: %v", trial, name, err)
+			case err == nil && !legal:
+				t.Fatalf("trial %d: Complete(%s) accepted while locked or unknown", trial, name)
+			case err == nil && alreadyDone:
+				// Re-completing a done unit is a no-op; fine.
+			}
+			checkInvariants(t, c, p)
+		}
+	}
+}
+
+// TestProgressTopologicalOrderAlwaysCompletes pins that completing in
+// the deterministic Order() sequence never hits a locked unit — the
+// replay path the player store uses to rebuild a persisted snapshot.
+func TestProgressTopologicalOrderAlwaysCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		c := randomCourse(rng, 1+rng.Intn(12))
+		order, err := c.Order()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p := NewProgress(c)
+		for _, u := range order {
+			if err := p.Complete(u.Name); err != nil {
+				t.Fatalf("trial %d: topo replay hit a locked unit: %v", trial, err)
+			}
+		}
+		if !p.Done() {
+			t.Fatalf("trial %d: topo replay did not finish the course", trial)
+		}
+	}
+}

@@ -31,6 +31,12 @@ type ClassStats struct {
 	// as a depressed hit rate, even when latency happens to hide it).
 	CacheHits    int `json:"cache_hits,omitempty"`
 	CacheLookups int `json:"cache_lookups,omitempty"`
+	// RateLimited counts the requests the server answered 429 — an
+	// expected outcome for the player class under an aggressive
+	// -player-rps, not an error (the request round-tripped and is a
+	// latency sample; a limiter that never fires under aggressive
+	// load is itself a bug the smoke test asserts against).
+	RateLimited int `json:"rate_limited,omitempty"`
 }
 
 // HitRate is the class's cache-hit fraction (0 when the class's
@@ -97,6 +103,7 @@ type Collector struct {
 	errors  map[string]int
 	hits    map[string]int
 	lookups map[string]int
+	limited map[string]int
 }
 
 // NewCollector builds an empty collector.
@@ -104,6 +111,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		samples: map[string][]float64{}, errors: map[string]int{},
 		hits: map[string]int{}, lookups: map[string]int{},
+		limited: map[string]int{},
 	}
 }
 
@@ -134,6 +142,15 @@ func (c *Collector) RecordCache(class string, hit bool) {
 	}
 }
 
+// RecordRateLimited tallies one 429 answer for its class. The request
+// itself still goes through Record with a nil error — being told to
+// back off is the limiter working, not the server failing.
+func (c *Collector) RecordRateLimited(class string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limited[class]++
+}
+
 // Summarize freezes the collected samples into a Summary for a run
 // that took elapsed wall-clock time.
 func (c *Collector) Summarize(elapsed time.Duration) Summary {
@@ -158,6 +175,7 @@ func (c *Collector) Summarize(elapsed time.Duration) Summary {
 		st := ClassStats{
 			Class: class, Count: len(lat) + c.errors[class], Errors: c.errors[class],
 			CacheHits: c.hits[class], CacheLookups: c.lookups[class],
+			RateLimited: c.limited[class],
 		}
 		if len(lat) > 0 {
 			sum := 0.0
@@ -184,15 +202,15 @@ func (c *Collector) Summarize(elapsed time.Duration) Summary {
 func (s Summary) String() string {
 	out := fmt.Sprintf("%d requests in %.1fs (%.1f req/s, %d errors, %d workers, concurrency %d)\n",
 		s.Requests, s.DurationSec, s.Throughput, s.Errors, s.Workers, s.Concurrency)
-	out += fmt.Sprintf("%-10s %8s %6s %10s %10s %10s %10s %10s %6s\n",
-		"class", "count", "errs", "mean", "p50", "p90", "p99", "max", "hit%")
+	out += fmt.Sprintf("%-10s %8s %6s %6s %10s %10s %10s %10s %10s %6s\n",
+		"class", "count", "errs", "429s", "mean", "p50", "p90", "p99", "max", "hit%")
 	for _, c := range s.Classes {
 		hit := "-"
 		if c.CacheLookups > 0 {
 			hit = fmt.Sprintf("%.0f%%", 100*c.HitRate())
 		}
-		out += fmt.Sprintf("%-10s %8d %6d %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms %6s\n",
-			c.Class, c.Count, c.Errors, c.MeanMs, c.P50Ms, c.P90Ms, c.P99Ms, c.MaxMs, hit)
+		out += fmt.Sprintf("%-10s %8d %6d %6d %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms %6s\n",
+			c.Class, c.Count, c.Errors, c.RateLimited, c.MeanMs, c.P50Ms, c.P90Ms, c.P99Ms, c.MaxMs, hit)
 	}
 	return out
 }

@@ -94,6 +94,28 @@ func TestCollectorConcurrentRecord(t *testing.T) {
 	}
 }
 
+// TestCollectorRateLimited: 429s tally per class without counting as
+// errors — the limiter firing is an expected outcome, and the smoke
+// harness asserts on the tally.
+func TestCollectorRateLimited(t *testing.T) {
+	c := NewCollector()
+	c.Record("player", 3*time.Millisecond, nil)
+	c.RecordRateLimited("player")
+	c.RecordRateLimited("player")
+	c.Record("player", time.Millisecond, nil)
+	s := c.Summarize(time.Second)
+	st, ok := s.Class("player")
+	if !ok || st.RateLimited != 2 {
+		t.Fatalf("player class = %+v, want rate_limited 2", st)
+	}
+	if s.Errors != 0 || st.Errors != 0 {
+		t.Errorf("429 tally leaked into errors: %+v", st)
+	}
+	if !strings.Contains(s.String(), "429s") {
+		t.Errorf("summary table missing the 429 column:\n%s", s.String())
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	c := NewCollector()
 	c.Record("warm", 2*time.Millisecond, nil)

@@ -1,0 +1,241 @@
+package player
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/course"
+	"repro/internal/quiz"
+)
+
+// DirStore is the persistent Store: one directory per player under a
+// root, holding at most three small JSON files —
+//
+//	<root>/<id>/player.json    the account record
+//	<root>/<id>/history.json   quiz results in the quiz.Save format
+//	<root>/<id>/progress.json  completed units + the course manifest
+//
+// Every write goes through write-temp-then-rename in the player's own
+// directory, so a crash mid-write leaves the previous file intact and
+// a reader never observes a torn document. The history file is the
+// exact quiz session format (version + checksum), and the progress
+// file embeds the course manifest round-tripped through course.Parse,
+// so damage to either surfaces as quiz.ErrCorruptSession or
+// course.ErrCorrupt — a diagnosable state, never a silently empty
+// player.
+type DirStore struct {
+	root string
+	// now stamps saved sessions; injectable for deterministic tests.
+	now func() time.Time
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("player: open store: %w", err)
+	}
+	return &DirStore{root: root, now: time.Now}, nil
+}
+
+// dir returns the player's directory.
+func (s *DirStore) dir(id string) string { return filepath.Join(s.root, id) }
+
+// exists reports whether the player's record file is present.
+func (s *DirStore) exists(id string) bool {
+	if !ValidID(id) {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.dir(id), "player.json"))
+	return err == nil
+}
+
+// writeFileAtomic writes data to path crash-safely: a temp file in
+// the same directory, synced and closed, then renamed over the
+// target. Rename within one directory is atomic on POSIX systems, so
+// concurrent readers see the old document or the new one — never a
+// prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("player: write %s: %w", filepath.Base(path), err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr == nil {
+		werr = serr
+	}
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("player: write %s: %w", filepath.Base(path), werr)
+	}
+	return nil
+}
+
+// Create inserts a new player: the directory creation is the
+// existence check (Mkdir is atomic), so two racing creates resolve to
+// exactly one winner.
+func (s *DirStore) Create(rec Record) error {
+	if !ValidID(rec.ID) {
+		return fmt.Errorf("%w: bad player id %q", ErrInvalid, rec.ID)
+	}
+	if err := os.Mkdir(s.dir(rec.ID), 0o755); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fmt.Errorf("%w: player %q already exists", ErrConflict, rec.ID)
+		}
+		return fmt.Errorf("player: create: %w", err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("player: create: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(s.dir(rec.ID), "player.json"), append(data, '\n'))
+}
+
+// Get returns the player record.
+func (s *DirStore) Get(id string) (Record, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir(id), "player.json"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) || !ValidID(id) {
+			return Record{}, fmt.Errorf("%w: player %q", ErrNotFound, id)
+		}
+		return Record{}, fmt.Errorf("player: get: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("player: corrupt record for %q: %w", id, err)
+	}
+	if rec.ID != id {
+		return Record{}, fmt.Errorf("player: corrupt record for %q: holds id %q", id, rec.ID)
+	}
+	return rec, nil
+}
+
+// Players lists every player directory holding a record, sorted.
+func (s *DirStore) Players() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("player: list: %w", err)
+	}
+	var out []string
+	for _, e := range entries { // ReadDir sorts by name
+		if e.IsDir() && s.exists(e.Name()) {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// History returns the player's recorded quiz results. A missing
+// history file is an empty history; a damaged one surfaces
+// quiz.ErrCorruptSession.
+func (s *DirStore) History(id string) ([]quiz.Result, error) {
+	if !s.exists(id) {
+		return nil, fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	f, err := os.Open(filepath.Join(s.dir(id), "history.json"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("player: history: %w", err)
+	}
+	defer f.Close()
+	sess, err := quiz.LoadSession(f)
+	if err != nil {
+		return nil, fmt.Errorf("player: history for %q: %w", id, err)
+	}
+	return sess.Results(), nil
+}
+
+// PutHistory replaces the player's recorded quiz results, persisted
+// in the standard quiz session format.
+func (s *DirStore) PutHistory(id string, results []quiz.Result) error {
+	if !s.exists(id) {
+		return fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	var buf bytes.Buffer
+	if err := quiz.RestoreSession(id, results).Save(&buf, s.now()); err != nil {
+		return fmt.Errorf("player: history for %q: %w", id, err)
+	}
+	return writeFileAtomic(filepath.Join(s.dir(id), "history.json"), buf.Bytes())
+}
+
+// progressRecord is the on-disk progress snapshot: the completed
+// units plus the rendered course manifest, which round-trips through
+// course.Parse on load so a damaged or drifted manifest is diagnosed
+// instead of silently unlocking the wrong units.
+type progressRecord struct {
+	Completed []string        `json:"completed"`
+	Course    json.RawMessage `json:"course"`
+}
+
+// Progress returns the player's completed-unit snapshot. A missing
+// file means no snapshot yet; a damaged one surfaces course.ErrCorrupt
+// (manifest damage) or a wrapped decode error (envelope damage).
+func (s *DirStore) Progress(id string) ([]string, error) {
+	if !s.exists(id) {
+		return nil, fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir(id), "progress.json"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, errNoProgress
+		}
+		return nil, fmt.Errorf("player: progress: %w", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("player: progress for %q: %w: empty document", id, course.ErrCorrupt)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rec progressRecord
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("player: progress for %q: %w: %w", id, course.ErrCorrupt, err)
+	}
+	c, err := course.Parse(rec.Course)
+	if err != nil {
+		return nil, fmt.Errorf("player: progress for %q: %w", id, err)
+	}
+	for _, unit := range rec.Completed {
+		if _, ok := c.Unit(unit); !ok {
+			return nil, fmt.Errorf("player: progress for %q: %w: completed unit %q not in manifest", id, course.ErrCorrupt, unit)
+		}
+	}
+	return rec.Completed, nil
+}
+
+// PutProgress replaces the player's progress snapshot.
+func (s *DirStore) PutProgress(id string, c *course.Course, completed []string) error {
+	if !s.exists(id) {
+		return fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	manifest, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("player: progress for %q: %w", id, err)
+	}
+	if completed == nil {
+		completed = []string{}
+	}
+	data, err := json.MarshalIndent(progressRecord{Completed: completed, Course: manifest}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("player: progress for %q: %w", id, err)
+	}
+	return writeFileAtomic(filepath.Join(s.dir(id), "progress.json"), append(data, '\n'))
+}

@@ -1,0 +1,100 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors for the player layer. Every error leaving the
+// package wraps one of these, and every wrapped message BEGINS with
+// the sentinel's text — the same prefix discipline the api package
+// follows — so the serve layer can map them to HTTP statuses and the
+// cluster proxy can splice identical errors back together from a
+// status and body on the far side of the wire.
+var (
+	// ErrInvalid marks a malformed request (bad ID, unknown spec,
+	// out-of-range answer): HTTP 400.
+	ErrInvalid = errors.New("player: invalid request")
+	// ErrNotFound marks a reference to a player or unit that does not
+	// exist: HTTP 404.
+	ErrNotFound = errors.New("player: not found")
+	// ErrConflict marks a request that is valid but collides with
+	// current state (duplicate create, replayed attempt, locked
+	// unit): HTTP 409.
+	ErrConflict = errors.New("player: conflict")
+	// ErrRateLimited marks a player that has exhausted its request
+	// budget: HTTP 429. Errors carrying a retry hint are
+	// *RateLimitError values, which wrap this sentinel.
+	ErrRateLimited = errors.New("player: rate limited")
+)
+
+// RateLimitError is the concrete 429 error: it satisfies
+// errors.Is(err, ErrRateLimited) and carries how long the player
+// should wait before retrying, which serve surfaces as a Retry-After
+// header and the cluster proxy reconstructs from the error envelope.
+type RateLimitError struct {
+	// RetryAfter is the wait until the token bucket readmits the
+	// player.
+	RetryAfter time.Duration
+}
+
+// Error renders the sentinel-prefixed message. The text is a pure
+// function of RetryAfter so a reconstructed proxy-side error prints
+// identically to the origin's.
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("%s: retry in %dms", ErrRateLimited.Error(), e.RetryAfter.Milliseconds())
+}
+
+// Is makes errors.Is(err, ErrRateLimited) true for RateLimitError
+// values.
+func (e *RateLimitError) Is(target error) bool { return target == ErrRateLimited }
+
+// MaxIDLength bounds player identifiers.
+const MaxIDLength = 64
+
+// ValidID reports whether id is a usable player identifier:
+// lowercase letters, digits, '-' and '_', starting with a letter or
+// digit, at most MaxIDLength bytes. The alphabet is deliberately
+// path-safe — the dir store uses the ID verbatim as a directory name.
+func ValidID(id string) bool {
+	if len(id) == 0 || len(id) > MaxIDLength {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case (c == '-' || c == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CourseRef names the deterministic course a player is enrolled in: a
+// scenario spec rendered through the bridge campaign path. The zero
+// Window/Hosts/Seed fields take the engine defaults, so the same ref
+// always renders the same course on any worker.
+type CourseRef struct {
+	// Spec is the netsim scenario name or composition expression.
+	Spec string `json:"spec"`
+	// Window is the campaign aggregation window in seconds.
+	Window float64 `json:"window,omitempty"`
+	// Hosts sizes the scenario network (0 = the standard layout).
+	Hosts int `json:"hosts,omitempty"`
+	// Seed drives the deterministic generation.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Record is one player's account row.
+type Record struct {
+	// ID is the stable identifier (see ValidID).
+	ID string `json:"id"`
+	// Name is the display name; defaults to the ID.
+	Name string `json:"name,omitempty"`
+	// Course is the enrolled course.
+	Course CourseRef `json:"course"`
+}

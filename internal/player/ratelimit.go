@@ -1,0 +1,114 @@
+package player
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBuckets bounds the limiter's bucket table when the
+// constructor is given no cap.
+const DefaultMaxBuckets = 4096
+
+// Limiter is a per-player token-bucket rate limiter. Each player has
+// an independent bucket refilling at rps tokens per second up to
+// burst, so one player exhausting its budget never slows another —
+// the isolation property the multi-tenant layer exists for. The
+// bucket table is an LRU capped at maxBuckets: idle players' buckets
+// are evicted (eviction can only ever hand tokens back, never debt,
+// so it is always safe), which keeps memory bounded however many
+// transient players a load test invents.
+//
+// A nil Limiter, or one built with rps ≤ 0, admits everything.
+type Limiter struct {
+	rps   float64
+	burst float64
+	max   int
+
+	mu      sync.Mutex
+	buckets map[string]*list.Element
+	lru     *list.List // front = most recently used
+	// now is the clock; injectable for tests.
+	now func() time.Time
+}
+
+// bucket is one player's token state.
+type bucket struct {
+	id     string
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter admitting rps requests per second per
+// player with the given burst (values ≤ 0 fall back to 1), keeping at
+// most maxBuckets player buckets (≤ 0 selects DefaultMaxBuckets).
+// rps ≤ 0 disables limiting entirely.
+func NewLimiter(rps, burst float64, maxBuckets int) *Limiter {
+	if rps <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	if maxBuckets <= 0 {
+		maxBuckets = DefaultMaxBuckets
+	}
+	return &Limiter{
+		rps:     rps,
+		burst:   burst,
+		max:     maxBuckets,
+		buckets: make(map[string]*list.Element),
+		lru:     list.New(),
+		now:     time.Now,
+	}
+}
+
+// Allow consumes one token from the player's bucket. When the bucket
+// is empty it reports false with the wait until one token refills.
+func (l *Limiter) Allow(id string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	var b *bucket
+	if el, exists := l.buckets[id]; exists {
+		b = el.Value.(*bucket)
+		b.tokens += now.Sub(b.last).Seconds() * l.rps
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+		l.lru.MoveToFront(el)
+	} else {
+		// A brand-new (or evicted-and-returned) player starts with a
+		// full bucket.
+		b = &bucket{id: id, tokens: l.burst, last: now}
+		l.buckets[id] = l.lru.PushFront(b)
+		if l.lru.Len() > l.max {
+			oldest := l.lru.Back()
+			l.lru.Remove(oldest)
+			delete(l.buckets, oldest.Value.(*bucket).id)
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rps * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Len reports the number of live buckets (for tests).
+func (l *Limiter) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lru.Len()
+}

@@ -1,0 +1,109 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func withClock(l *Limiter, c *fakeClock) *Limiter {
+	l.now = c.now
+	return l
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	clock := newFakeClock()
+	l := withClock(NewLimiter(2, 3, 0), clock) // 2 rps, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("p"); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := l.Allow("p")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v out of range (0, 1s] at 2 rps", retry)
+	}
+
+	// Half a second refills one token at 2 rps.
+	clock.advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("p"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := l.Allow("p"); ok {
+		t.Fatal("second request after a single-token refill admitted")
+	}
+}
+
+func TestLimiterIsolatesPlayers(t *testing.T) {
+	clock := newFakeClock()
+	l := withClock(NewLimiter(1, 1, 0), clock)
+	if ok, _ := l.Allow("noisy"); !ok {
+		t.Fatal("first request denied")
+	}
+	if ok, _ := l.Allow("noisy"); ok {
+		t.Fatal("noisy player not limited")
+	}
+	// The noisy player's exhaustion must not touch anyone else.
+	if ok, _ := l.Allow("quiet"); !ok {
+		t.Fatal("unrelated player limited by a noisy neighbour")
+	}
+}
+
+func TestLimiterEvictsIdleBuckets(t *testing.T) {
+	clock := newFakeClock()
+	l := withClock(NewLimiter(1, 1, 4), clock)
+	for i := 0; i < 10; i++ {
+		l.Allow(fmt.Sprintf("p%d", i))
+	}
+	if n := l.Len(); n != 4 {
+		t.Fatalf("limiter holds %d buckets, want the cap of 4", n)
+	}
+	// p0's bucket was evicted while empty; returning, it starts full —
+	// eviction hands tokens back, never debt.
+	if ok, _ := l.Allow("p0"); !ok {
+		t.Fatal("evicted player denied its fresh burst")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	if l := NewLimiter(0, 5, 0); l != nil {
+		t.Fatal("rps=0 should disable the limiter")
+	}
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("p"); !ok {
+			t.Fatal("nil limiter denied a request")
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatal("nil limiter reports buckets")
+	}
+}
+
+func TestRateLimitErrorShape(t *testing.T) {
+	err := error(&RateLimitError{RetryAfter: 1500 * time.Millisecond})
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatal("RateLimitError does not match ErrRateLimited")
+	}
+	want := "player: rate limited: retry in 1500ms"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+	// The message is a pure function of RetryAfter: the proxy rebuilds
+	// the error from the wire and must print identically.
+	rebuilt := &RateLimitError{RetryAfter: 1500 * time.Millisecond}
+	if rebuilt.Error() != err.Error() {
+		t.Fatal("reconstructed error prints differently")
+	}
+}

@@ -1,0 +1,183 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/course"
+	"repro/internal/quiz"
+)
+
+// errNoProgress is the store-internal "no snapshot yet" signal: the
+// engine falls back to a fresh progress view. It is distinct from
+// ErrNotFound (the player itself is missing).
+var errNoProgress = errors.New("player: no progress snapshot")
+
+// Store persists player state. Implementations are safe for
+// concurrent use; writes are whole-record with last-write-wins
+// semantics (the Engine serializes per-player mutation on its own
+// striped locks, so races only arise when callers bypass it — and
+// even then a record is one writer's value, never an interleaving).
+//
+// Errors: Create returns ErrConflict when the ID exists; the other
+// methods return ErrNotFound for an unknown player; Progress returns
+// errNoProgress (unexported) before the first PutProgress, which
+// callers inside the package treat as the empty snapshot.
+type Store interface {
+	// Create inserts a new player record.
+	Create(rec Record) error
+	// Get returns the player record.
+	Get(id string) (Record, error)
+	// Players lists every player ID in sorted order.
+	Players() ([]string, error)
+	// History returns the player's recorded quiz results in answer
+	// order.
+	History(id string) ([]quiz.Result, error)
+	// PutHistory replaces the player's recorded quiz results.
+	PutHistory(id string, results []quiz.Result) error
+	// Progress returns the names of the course units the player has
+	// completed, in completion order.
+	Progress(id string) ([]string, error)
+	// PutProgress replaces the player's progress snapshot. The
+	// rendered course rides along so persistent stores can write a
+	// self-describing snapshot (the manifest round-trips through the
+	// course JSON format); in-memory stores may ignore it.
+	PutProgress(id string, c *course.Course, completed []string) error
+}
+
+// memStripes is the MemStore lock-stripe count; player IDs hash
+// across stripes so unrelated players never contend.
+const memStripes = 16
+
+// MemStore is the in-memory Store: lock-striped by player ID, with
+// every slice copied on the way in and out so callers can never
+// mutate stored state behind the lock.
+type MemStore struct {
+	stripes [memStripes]memStripe
+}
+
+type memStripe struct {
+	mu      sync.RWMutex
+	players map[string]*memPlayer
+}
+
+type memPlayer struct {
+	rec         Record
+	history     []quiz.Result
+	completed   []string
+	hasProgress bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	s := &MemStore{}
+	for i := range s.stripes {
+		s.stripes[i].players = make(map[string]*memPlayer)
+	}
+	return s
+}
+
+// stripe picks the lock stripe for an ID.
+func (s *MemStore) stripe(id string) *memStripe {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.stripes[h.Sum32()%memStripes]
+}
+
+// Create inserts a new player record.
+func (s *MemStore) Create(rec Record) error {
+	st := s.stripe(rec.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.players[rec.ID]; ok {
+		return fmt.Errorf("%w: player %q already exists", ErrConflict, rec.ID)
+	}
+	st.players[rec.ID] = &memPlayer{rec: rec}
+	return nil
+}
+
+// Get returns the player record.
+func (s *MemStore) Get(id string) (Record, error) {
+	st := s.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	p, ok := st.players[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	return p.rec, nil
+}
+
+// Players lists every player ID in sorted order.
+func (s *MemStore) Players() ([]string, error) {
+	var out []string
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for id := range st.players {
+			out = append(out, id)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// History returns a copy of the player's recorded quiz results.
+func (s *MemStore) History(id string) ([]quiz.Result, error) {
+	st := s.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	p, ok := st.players[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	return append([]quiz.Result(nil), p.history...), nil
+}
+
+// PutHistory replaces the player's recorded quiz results.
+func (s *MemStore) PutHistory(id string, results []quiz.Result) error {
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, ok := st.players[id]
+	if !ok {
+		return fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	p.history = append([]quiz.Result(nil), results...)
+	return nil
+}
+
+// Progress returns the player's completed-unit snapshot.
+func (s *MemStore) Progress(id string) ([]string, error) {
+	st := s.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	p, ok := st.players[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	if !p.hasProgress {
+		return nil, errNoProgress
+	}
+	return append([]string(nil), p.completed...), nil
+}
+
+// PutProgress replaces the player's progress snapshot. The in-memory
+// store keeps only the completed list — the course is deterministic
+// from the player's CourseRef and re-rendered on demand.
+func (s *MemStore) PutProgress(id string, _ *course.Course, completed []string) error {
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, ok := st.players[id]
+	if !ok {
+		return fmt.Errorf("%w: player %q", ErrNotFound, id)
+	}
+	p.completed = append([]string(nil), completed...)
+	p.hasProgress = true
+	return nil
+}

@@ -1,0 +1,315 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/course"
+	"repro/internal/quiz"
+)
+
+// testCourse is a small three-unit course with a prerequisite chain.
+func testCourse(t *testing.T) *course.Course {
+	t.Helper()
+	c := &course.Course{
+		Name: "test course",
+		Units: []course.Unit{
+			{Name: "a", Lessons: []string{"l1"}},
+			{Name: "b", Lessons: []string{"l2"}, Requires: []string{"a"}},
+			{Name: "c", Lessons: []string{"l3"}, Requires: []string{"b"}},
+		},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// eachStore runs a subtest against both Store backends.
+func eachStore(t *testing.T, run func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { run(t, NewMemStore()) })
+	t.Run("dir", func(t *testing.T) {
+		s, err := NewDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, s)
+	})
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		rec := Record{ID: "alice", Name: "Alice", Course: CourseRef{Spec: "ddos", Window: 15}}
+		if err := s.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Create(rec); !errors.Is(err, ErrConflict) {
+			t.Fatalf("duplicate create: got %v, want ErrConflict", err)
+		}
+		got, err := s.Get("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("Get = %+v, want %+v", got, rec)
+		}
+		if _, err := s.Get("nobody"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(nobody): got %v, want ErrNotFound", err)
+		}
+
+		// Fresh player: empty history, no progress snapshot.
+		h, err := s.History("alice")
+		if err != nil || len(h) != 0 {
+			t.Fatalf("fresh history = %v, %v", h, err)
+		}
+		if _, err := s.Progress("alice"); err != errNoProgress {
+			t.Fatalf("fresh progress err = %v, want errNoProgress", err)
+		}
+		if _, err := s.History("nobody"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("History(nobody): got %v, want ErrNotFound", err)
+		}
+		if err := s.PutHistory("nobody", nil); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("PutHistory(nobody): got %v, want ErrNotFound", err)
+		}
+
+		results := []quiz.Result{
+			{Prompt: "p1", Selected: "x", CorrectText: "x", Correct: true},
+			{Prompt: "p2", Selected: "y", CorrectText: "z", Correct: false},
+		}
+		if err := s.PutHistory("alice", results); err != nil {
+			t.Fatal(err)
+		}
+		h, err = s.History("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(h, results) {
+			t.Fatalf("history = %+v, want %+v", h, results)
+		}
+
+		c := testCourse(t)
+		if err := s.PutProgress("alice", c, []string{"a", "b"}); err != nil {
+			t.Fatal(err)
+		}
+		done, err := s.Progress("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(done, []string{"a", "b"}) {
+			t.Fatalf("progress = %v", done)
+		}
+
+		if err := s.Create(Record{ID: "bob"}); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := s.Players()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, []string{"alice", "bob"}) {
+			t.Fatalf("Players = %v", ids)
+		}
+	})
+}
+
+// TestStoreLastWriteWins pins whole-record semantics under racing
+// writers: the final state equals exactly one writer's value, never an
+// interleaving. Run with -race.
+func TestStoreLastWriteWins(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		if err := s.Create(Record{ID: "p"}); err != nil {
+			t.Fatal(err)
+		}
+		c := testCourse(t)
+		const writers = 8
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results := []quiz.Result{{
+					Prompt: "p", Selected: fmt.Sprintf("writer-%d", w),
+					CorrectText: "p", Correct: false,
+				}}
+				if err := s.PutHistory("p", results); err != nil {
+					t.Error(err)
+				}
+				if err := s.PutProgress("p", c, []string{"a"}); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		h, err := s.History("p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h) != 1 {
+			t.Fatalf("history holds %d results, want exactly one writer's record", len(h))
+		}
+		found := false
+		for w := 0; w < writers; w++ {
+			if h[0].Selected == fmt.Sprintf("writer-%d", w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("final history %+v is not any writer's value", h[0])
+		}
+		done, err := s.Progress("p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(done, []string{"a"}) {
+			t.Fatalf("progress = %v", done)
+		}
+	})
+}
+
+// TestStoreCopiesSlices pins that mutating a caller-held slice after
+// a Put (or a slice returned by a read) never reaches stored state.
+func TestStoreCopiesSlices(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		if err := s.Create(Record{ID: "p"}); err != nil {
+			t.Fatal(err)
+		}
+		in := []quiz.Result{{Prompt: "p1", Selected: "x", CorrectText: "x", Correct: true}}
+		if err := s.PutHistory("p", in); err != nil {
+			t.Fatal(err)
+		}
+		in[0].Selected = "mutated"
+		out, err := s.History("p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].Selected != "x" {
+			t.Fatal("PutHistory aliased the caller's slice")
+		}
+		out[0].Selected = "mutated again"
+		again, err := s.History("p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again[0].Selected != "x" {
+			t.Fatal("History handed out aliased storage")
+		}
+	})
+}
+
+func TestDirStoreSurvivesReopen(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewDirStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{ID: "alice", Name: "Alice", Course: CourseRef{Spec: "ddos", Window: 15}}
+	if err := s.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	results := []quiz.Result{{Prompt: "p1", Selected: "x", CorrectText: "x", Correct: true}}
+	if err := s.PutHistory("alice", results); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutProgress("alice", testCourse(t), []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different store over the same root sees everything.
+	back, err := NewDirStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("reopened record = %+v", got)
+	}
+	h, err := back.History("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, results) {
+		t.Fatalf("reopened history = %+v", h)
+	}
+	done, err := back.Progress("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(done, []string{"a"}) {
+		t.Fatalf("reopened progress = %v", done)
+	}
+}
+
+// TestDirStoreCorruptFiles pins the failure taxonomy: a damaged
+// history file surfaces quiz.ErrCorruptSession, a damaged progress
+// file course.ErrCorrupt — never a silently empty player.
+func TestDirStoreCorruptFiles(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewDirStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(Record{ID: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutHistory("p", []quiz.Result{{Prompt: "q", Selected: "a", CorrectText: "a", Correct: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutProgress("p", testCourse(t), []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	histPath := filepath.Join(root, "p", "history.json")
+	progPath := filepath.Join(root, "p", "progress.json")
+
+	// Truncate the history file mid-document.
+	data, err := os.ReadFile(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(histPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.History("p"); !errors.Is(err, quiz.ErrCorruptSession) {
+		t.Fatalf("truncated history: got %v, want ErrCorruptSession", err)
+	}
+
+	// Scribble over the progress file.
+	if err := os.WriteFile(progPath, []byte(`{"completed":["a"],"course":{"name":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Progress("p"); !errors.Is(err, course.ErrCorrupt) {
+		t.Fatalf("corrupt progress: got %v, want course.ErrCorrupt", err)
+	}
+
+	// A completed unit the manifest does not contain is corruption too.
+	if err := os.WriteFile(progPath, []byte(`{"completed":["ghost"],"course":{"name":"c","units":[{"name":"a","lessons":["l"]}]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Progress("p"); !errors.Is(err, course.ErrCorrupt) {
+		t.Fatalf("ghost unit: got %v, want course.ErrCorrupt", err)
+	}
+}
+
+func TestDirStoreRejectsBadIDs(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../escape", "UPPER", "a b", "-lead"} {
+		if err := s.Create(Record{ID: id}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Create(%q): got %v, want ErrInvalid", id, err)
+		}
+		if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q): got %v, want ErrNotFound", id, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package quiz
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -12,6 +13,15 @@ import (
 // part of a formal course" need records that outlive the process.
 // Sessions serialize to a small JSON document; cohorts rebuild from
 // any number of saved sessions.
+
+// ErrCorruptSession marks a saved session that cannot be trusted:
+// truncated or malformed JSON, an unsupported format version, or a
+// checksum that disagrees with the payload. Every LoadSession failure
+// wraps it, so a caller that owns session files as server state (the
+// player layer's dir-backed store) can distinguish "this file is
+// damaged" from an I/O error with errors.Is — and never receives a
+// zero-value session in place of a diagnosis.
+var ErrCorruptSession = errors.New("quiz: corrupt session")
 
 // sessionRecord is the on-disk form.
 type sessionRecord struct {
@@ -42,25 +52,42 @@ func (s *Session) Save(w io.Writer, now time.Time) error {
 	return nil
 }
 
-// LoadSession reads a session saved by Save.
+// LoadSession reads a session saved by Save. A session that fails to
+// load for any structural reason — malformed or truncated JSON, an
+// unsupported version, a checksum mismatch — returns an error wrapping
+// ErrCorruptSession; read failures return the underlying I/O error.
 func LoadSession(r io.Reader) (*Session, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("quiz: load session: %w", err)
 	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("%w: empty document", ErrCorruptSession)
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var rec sessionRecord
 	if err := dec.Decode(&rec); err != nil {
-		return nil, fmt.Errorf("quiz: load session: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrCorruptSession, err)
 	}
 	if rec.Version != currentSessionVersion {
-		return nil, fmt.Errorf("quiz: load session: unsupported version %d", rec.Version)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSession, rec.Version)
 	}
 	if rec.Checksum != len(rec.Results) {
-		return nil, fmt.Errorf("quiz: load session: answered count %d does not match %d results", rec.Checksum, len(rec.Results))
+		return nil, fmt.Errorf("%w: answered count %d does not match %d results", ErrCorruptSession, rec.Checksum, len(rec.Results))
 	}
-	s := NewSession(rec.Student)
-	s.results = append(s.results, rec.Results...)
-	return s, nil
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		return nil, fmt.Errorf("%w: more than one JSON document in file", ErrCorruptSession)
+	}
+	return RestoreSession(rec.Student, rec.Results), nil
+}
+
+// RestoreSession rebuilds a session from previously recorded results
+// — the constructor the player store uses to turn a persisted attempt
+// history back into a live session without a JSON round-trip.
+func RestoreSession(student string, results []Result) *Session {
+	s := NewSession(student)
+	s.results = append(s.results, results...)
+	return s
 }

@@ -2,6 +2,7 @@ package quiz
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -34,16 +35,50 @@ func TestSessionSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadSessionRejectsCorruption(t *testing.T) {
+	valid := `{"student":"x","saved_at":"2026-01-01T00:00:00Z","results":[],"version":1,"answered":0}`
 	cases := map[string]string{
 		"garbage":       "not json",
+		"empty":         "",
+		"whitespace":    "  \n\t ",
+		"truncated":     valid[:len(valid)/2],
 		"bad version":   `{"student":"x","saved_at":"2026-01-01T00:00:00Z","results":[],"version":9,"answered":0}`,
 		"bad checksum":  `{"student":"x","saved_at":"2026-01-01T00:00:00Z","results":[],"version":1,"answered":5}`,
 		"unknown field": `{"student":"x","extra":true,"version":1,"answered":0,"results":[],"saved_at":"2026-01-01T00:00:00Z"}`,
+		"wrong type":    `{"student":"x","saved_at":"2026-01-01T00:00:00Z","results":"none","version":1,"answered":0}`,
+		"double doc":    valid + "\n" + valid,
 	}
 	for name, src := range cases {
-		if _, err := LoadSession(strings.NewReader(src)); err == nil {
+		s, err := LoadSession(strings.NewReader(src))
+		if err == nil {
 			t.Errorf("%s: accepted", name)
+			continue
 		}
+		if s != nil {
+			t.Errorf("%s: returned a session alongside the error", name)
+		}
+		if err != nil && !errors.Is(err, ErrCorruptSession) {
+			t.Errorf("%s: error %v does not wrap ErrCorruptSession", name, err)
+		}
+	}
+}
+
+func TestRestoreSessionMatchesRoundTrip(t *testing.T) {
+	s := NewSession("bob")
+	p := Shuffle(sampleQuestion(), nil)
+	if _, err := s.Record(p, p.CorrectOption); err != nil {
+		t.Fatal(err)
+	}
+	back := RestoreSession(s.Student, s.Results())
+	if back.Report() != s.Report() {
+		t.Error("restored session report differs")
+	}
+	// The restored session owns its results: mutating it must not
+	// reach back into the source slice.
+	if _, err := back.Record(p, (p.CorrectOption+1)%3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Answered() != 1 || back.Answered() != 2 {
+		t.Errorf("restore aliased results: %d %d", s.Answered(), back.Answered())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/bridge"
 	"repro/internal/core"
+	"repro/internal/player"
 )
 
 // Pool fronts N in-process api.Service workers with one api.Core
@@ -27,15 +28,19 @@ type Pool struct {
 var _ api.Core = (*Pool)(nil)
 
 // NewPool builds a fleet of n workers (minimum 1), each configured
-// with opts plus a shared session ID source.
+// with opts plus a shared session ID source and a shared player
+// engine: player state is mutable per-user data, so every worker
+// must see the same store and attempt registry (an api.WithPlayers
+// in opts overrides the default shared engine on all workers alike).
 func NewPool(n int, opts ...api.Option) *Pool {
 	if n < 1 {
 		n = 1
 	}
 	ids := new(atomic.Int64)
+	players := player.NewEngine(player.NewMemStore())
 	p := &Pool{ring: NewRing(n), workers: make([]*api.Service, n)}
 	for i := range p.workers {
-		p.workers[i] = api.New(append([]api.Option{api.WithSessionIDs(ids)}, opts...)...)
+		p.workers[i] = api.New(append([]api.Option{api.WithSessionIDs(ids), api.WithPlayers(players)}, opts...)...)
 	}
 	return p
 }
@@ -82,6 +87,44 @@ func (p *Pool) Module(ctx context.Context, req api.ModuleRequest) (*core.Module,
 // Campaign routes by the campaign's cache identity.
 func (p *Pool) Campaign(ctx context.Context, req api.CampaignRequest) (*bridge.Campaign, error) {
 	return p.Worker(req.RouteKey()).Campaign(ctx, req)
+}
+
+// Player methods route by player identity — every request touching
+// one player lands on one worker. The engine behind them is shared
+// across the fleet (see NewPool), so the routing is about request
+// locality, not state partitioning; it mirrors how a cluster of
+// separate processes genuinely partitions players.
+
+// PlayerCreate routes by player identity.
+func (p *Pool) PlayerCreate(ctx context.Context, req api.PlayerCreateRequest) (*api.PlayerResult, error) {
+	return p.Worker(req.RouteKey()).PlayerCreate(ctx, req)
+}
+
+// PlayerGet routes by player identity.
+func (p *Pool) PlayerGet(ctx context.Context, req api.PlayerGetRequest) (*api.PlayerResult, error) {
+	return p.Worker(req.RouteKey()).PlayerGet(ctx, req)
+}
+
+// PlayerAttemptStart routes by player identity.
+func (p *Pool) PlayerAttemptStart(ctx context.Context, req api.AttemptStartRequest) (*api.AttemptResult, error) {
+	return p.Worker(req.RouteKey()).PlayerAttemptStart(ctx, req)
+}
+
+// PlayerAttemptSubmit routes by player identity.
+func (p *Pool) PlayerAttemptSubmit(ctx context.Context, req api.AttemptSubmitRequest) (*api.SubmitResult, error) {
+	return p.Worker(req.RouteKey()).PlayerAttemptSubmit(ctx, req)
+}
+
+// PlayerProgress routes by player identity.
+func (p *Pool) PlayerProgress(ctx context.Context, req api.ProgressRequest) (*api.ProgressResult, error) {
+	return p.Worker(req.RouteKey()).PlayerProgress(ctx, req)
+}
+
+// PlayerMastery reads the shared engine; any worker sees every
+// player, so the first answers (no fan-merge — merging per-worker
+// reads of one shared store would double count).
+func (p *Pool) PlayerMastery(ctx context.Context) (*api.MasteryResult, error) {
+	return p.workers[0].PlayerMastery(ctx)
 }
 
 // Catalog is identical on every worker; the first answers.

@@ -4,16 +4,31 @@
 // need a real backend over a socket — shares one route table instead
 // of each re-implementing the wire contract.
 //
+//	GET    /v1/healthz          liveness probe (static, no core call)
 //	GET    /v1/catalog          scenario + figure-pattern catalog
 //	POST   /v1/generate         api.GenerateRequest  → api.GenerateResult
 //	POST   /v1/generate/stream  api.GenerateRequest  → NDJSON frame stream
 //	POST   /v1/analyze          api.AnalyzeRequest   → api.AnalyzeResult
 //	POST   /v1/module           api.ModuleRequest    → core.Module JSON
 //	POST   /v1/campaign         api.CampaignRequest  → bridge.Campaign JSON
+//	POST   /v1/player                      create a player account
+//	GET    /v1/player/{id}                 account view (history + progress)
+//	POST   /v1/player/{id}/attempt         start a quiz attempt on a module
+//	POST   /v1/player/{id}/attempt/{n}     submit an answer for attempt n
+//	GET    /v1/player/{id}/progress        course-progress summary
+//	POST   /v1/player/{id}/progress        complete a unit ({"unit": ...})
+//	GET    /v1/player/mastery              cohort item statistics
 //	GET    /v1/sessions         in-flight work (merged across workers)
 //	DELETE /v1/sessions/{id}    cancel one in-flight run
 //	GET    /v1/cache            result-cache counters (fleet aggregate)
 //	GET    /v1/stats            per-worker, per-shard counters
+//
+// Player errors map onto statuses through the package's sentinels: an
+// unknown player or unit is 404, a duplicate create / replayed attempt
+// / locked unit is 409, and a rate-limited player gets 429 with a
+// Retry-After header (and a retry_after_ms field in the error
+// envelope, which is how a cluster proxy reconstructs the identical
+// error on its side of the wire).
 //
 // A mux built with NewProxyMux additionally mounts the live ring
 // membership surface a cluster proxy needs:
@@ -39,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/player"
 	"repro/internal/router"
 )
 
@@ -86,7 +102,7 @@ func NewMux(svc api.Core) http.Handler { return NewProxyMux(svc, nil) }
 // NewProxyMux builds the route table plus, when m is non-nil, the
 // cluster membership routes.
 func NewProxyMux(svc api.Core, m Membership) http.Handler {
-	routes := "GET /v1/catalog · POST /v1/generate · POST /v1/generate/stream · POST /v1/analyze · POST /v1/module · POST /v1/campaign · GET /v1/sessions · DELETE /v1/sessions/{id} · GET /v1/cache · GET /v1/stats"
+	routes := "GET /v1/healthz · GET /v1/catalog · POST /v1/generate · POST /v1/generate/stream · POST /v1/analyze · POST /v1/module · POST /v1/campaign · POST /v1/player · GET /v1/player/{id} · POST /v1/player/{id}/attempt · POST /v1/player/{id}/attempt/{n} · GET|POST /v1/player/{id}/progress · GET /v1/player/mastery · GET /v1/sessions · DELETE /v1/sessions/{id} · GET /v1/cache · GET /v1/stats"
 	if m != nil {
 		routes += " · GET /v1/cluster · POST /v1/cluster/add · POST /v1/cluster/remove"
 	}
@@ -101,6 +117,13 @@ func NewProxyMux(svc api.Core, m Membership) http.Handler {
 			"version": api.Version,
 			"routes":  routes,
 		})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the route answers the moment the listener is
+		// up, without a round-trip through the core (a proxy's healthz
+		// must not depend on its backends being reachable). CI and
+		// orchestration poll this instead of a real route.
+		writeJSON(w, http.StatusOK, HealthResult{Status: "ok", Version: api.Version})
 	})
 	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Catalog(r.Context()))
@@ -191,6 +214,93 @@ func NewProxyMux(svc api.Core, m Membership) http.Handler {
 			return
 		}
 		res, err := svc.Campaign(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/player", func(w http.ResponseWriter, r *http.Request) {
+		var req api.PlayerCreateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := svc.PlayerCreate(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/player/{id}", func(w http.ResponseWriter, r *http.Request) {
+		res, err := svc.PlayerGet(r.Context(), api.PlayerGetRequest{ID: r.PathValue("id")})
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/player/{id}/attempt", func(w http.ResponseWriter, r *http.Request) {
+		var req api.AttemptStartRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		req.Player = r.PathValue("id")
+		res, err := svc.PlayerAttemptStart(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/player/{id}/attempt/{n}", func(w http.ResponseWriter, r *http.Request) {
+		n, err := strconv.ParseInt(r.PathValue("n"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad attempt id %q", r.PathValue("n")))
+			return
+		}
+		var req api.AttemptSubmitRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		req.Player, req.Attempt = r.PathValue("id"), n
+		res, err := svc.PlayerAttemptSubmit(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/player/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		res, err := svc.PlayerProgress(r.Context(), api.ProgressRequest{Player: r.PathValue("id")})
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/player/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		var req api.ProgressRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		req.Player = r.PathValue("id")
+		if req.Unit == "" {
+			httpError(w, http.StatusBadRequest, errors.New(`advancing needs a unit; send {"unit": "..."} (or GET for the summary)`))
+			return
+		}
+		res, err := svc.PlayerProgress(r.Context(), req)
+		if err != nil {
+			serviceError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	// The literal route wins over GET /v1/player/{id} by the mux's
+	// most-specific-pattern rule, so "mastery" is not a usable player
+	// ID on the wire (ValidID would admit it).
+	mux.HandleFunc("GET /v1/player/mastery", func(w http.ResponseWriter, r *http.Request) {
+		res, err := svc.PlayerMastery(r.Context())
 		if err != nil {
 			serviceError(w, r, err)
 			return
@@ -309,12 +419,29 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 // usually gone), a proxy with no live backends is temporarily
 // unavailable (503), everything else is a 500.
 func serviceError(w http.ResponseWriter, r *http.Request, err error) {
+	var limited *player.RateLimitError
 	switch {
-	case errors.Is(err, api.ErrInvalidRequest):
+	case errors.Is(err, api.ErrInvalidRequest), errors.Is(err, player.ErrInvalid):
 		httpError(w, http.StatusBadRequest, err)
-	case errors.Is(err, api.ErrSessionCancelled):
-		// The run was killed server-side (CancelSession) while this
-		// client was still connected.
+	case errors.Is(err, player.ErrNotFound):
+		httpError(w, http.StatusNotFound, err)
+	case errors.As(err, &limited):
+		// Per-player throttle: Retry-After carries whole seconds
+		// (rounded up, minimum 1 — the header has no finer unit), the
+		// envelope's retry_after_ms the exact wait. A cluster proxy
+		// rebuilds the identical RateLimitError from the envelope, so
+		// the response is bit-identical through the proxy hop.
+		secs := (limited.RetryAfter + time.Second - 1) / time.Second
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+		ms := limited.RetryAfter.Milliseconds()
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Version: api.Version, RetryAfterMS: &ms})
+	case errors.Is(err, player.ErrConflict), errors.Is(err, api.ErrSessionCancelled):
+		// A player-state collision (duplicate create, replayed attempt,
+		// locked unit), or the run was killed server-side
+		// (CancelSession) while this client was still connected.
 		httpError(w, http.StatusConflict, err)
 	case errors.Is(err, router.ErrEmptyRing):
 		// Every backend was removed from the ring: the proxy is up but
@@ -332,9 +459,20 @@ func serviceError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 }
 
-// errorBody is the uniform error envelope.
+// errorBody is the uniform error envelope. RetryAfterMS rides along
+// on 429s only: it is the machine-readable form of the Retry-After
+// header (exact milliseconds, where the header is coarse seconds),
+// and the field a cluster proxy reads to reconstruct the backend's
+// RateLimitError precisely.
 type errorBody struct {
-	Error   string `json:"error"`
+	Error        string `json:"error"`
+	Version      string `json:"version"`
+	RetryAfterMS *int64 `json:"retry_after_ms,omitempty"`
+}
+
+// HealthResult answers GET /v1/healthz.
+type HealthResult struct {
+	Status  string `json:"status"`
 	Version string `json:"version"`
 }
 
